@@ -1,0 +1,128 @@
+// ABLATION — design knobs behind the Stuxnet reproduction.
+//
+// DESIGN.md calls out three modelling choices worth stress-testing:
+//  (1) the observe/cover cadence of the attack state machine — the paper
+//      says attacks were rare and patient; how does destruction-vs-stealth
+//      trade as the cadence compresses?
+//  (2) the deception itself — replaying recorded values to the safety
+//      system is the load-bearing trick; remove it and the trip should fire
+//      almost immediately (validating that our safety model has teeth);
+//  (3) the PLC scan period — physics must be discretization-robust, or the
+//      centrifuge results would be numerics, not modelling.
+
+#include "bench_util.hpp"
+#include "malware/stuxnet/plc_payload.hpp"
+#include "scada/safety.hpp"
+
+using namespace cyd;
+
+namespace {
+
+struct AblationResult {
+  std::size_t destroyed = 0;
+  int attacks = 0;
+  bool safety_tripped = false;
+};
+
+AblationResult run_cascade(malware::stuxnet::AttackTiming timing,
+                           bool spoof_reports, sim::Duration scan_period,
+                           sim::Duration horizon) {
+  sim::Simulation simulation;
+  scada::Plc plc(simulation, "cascade");
+  auto& drive = plc.bus().add_drive("vfd", scada::DriveVendor::kVacon);
+  for (int i = 0; i < 32; ++i) drive.add_centrifuge(std::to_string(i));
+  plc.set_operator_setpoint(1064.0);
+  scada::DigitalSafetySystem safety(800.0, 1250.0);
+  safety.attach(plc);
+
+  // A variant of the attack logic with the deception optionally removed.
+  class HonestVariant : public malware::stuxnet::StuxnetPlcLogic {
+   public:
+    explicit HonestVariant(malware::stuxnet::AttackTiming timing)
+        : StuxnetPlcLogic(timing) {}
+    void scan(scada::Plc& plc, sim::Duration dt) override {
+      StuxnetPlcLogic::scan(plc, dt);
+      plc.report_frequency(plc.actual_frequency());  // tell the truth
+    }
+  };
+  auto logic =
+      spoof_reports
+          ? std::make_unique<malware::stuxnet::StuxnetPlcLogic>(timing)
+          : std::make_unique<HonestVariant>(timing);
+  auto* logic_raw = logic.get();
+  plc.set_logic(std::move(logic));
+  plc.start(scan_period);
+  simulation.run_for(horizon);
+
+  AblationResult result;
+  result.destroyed = plc.bus().destroyed_centrifuges();
+  result.attacks = logic_raw->attacks_launched();
+  result.safety_tripped = safety.tripped();
+  return result;
+}
+
+void reproduce() {
+  benchutil::section("(1) attack cadence: cover duration sweep (60 days)");
+  std::printf("%-18s %-9s %-11s %-8s\n", "cover period", "attacks",
+              "destroyed", "safety");
+  for (const auto cover : {sim::days(3), sim::days(9), sim::days(27),
+                           sim::days(81)}) {
+    malware::stuxnet::AttackTiming timing;
+    timing.observe_window = sim::days(13);
+    timing.cover_duration = cover;
+    const auto result =
+        run_cascade(timing, true, sim::minutes(5), sim::days(60));
+    std::printf("%-18s %-9d %2zu/32      %-8s\n",
+                sim::format_duration(cover).c_str(), result.attacks,
+                result.destroyed, result.safety_tripped ? "TRIPPED" : "quiet");
+  }
+
+  benchutil::section("(2) the deception ablated: honest telemetry");
+  std::printf("%-26s %-9s %-11s %-8s\n", "variant", "attacks", "destroyed",
+              "safety");
+  malware::stuxnet::AttackTiming timing;
+  timing.observe_window = sim::days(13);
+  timing.cover_duration = sim::days(27);
+  for (const bool spoof : {true, false}) {
+    const auto result =
+        run_cascade(timing, spoof, sim::minutes(5), sim::days(180));
+    std::printf("%-26s %-9d %2zu/32      %-8s\n",
+                spoof ? "replayed-normal (Stuxnet)" : "honest reports",
+                result.attacks, result.destroyed,
+                result.safety_tripped ? "TRIPPED" : "quiet");
+  }
+
+  benchutil::section("(3) scan-period discretization (same physics?)");
+  std::printf("%-14s %-11s %-9s\n", "scan period", "destroyed", "attacks");
+  for (const auto period : {sim::minutes(1), sim::minutes(5),
+                            sim::minutes(15), sim::minutes(60)}) {
+    const auto result =
+        run_cascade(timing, true, period, sim::days(180));
+    std::printf("%-14s %2zu/32      %-9d\n",
+                sim::format_duration(period).c_str(), result.destroyed,
+                result.attacks);
+  }
+  std::printf("\nexpected: destruction scales with cadence while stealth "
+              "holds; removing the replay flips the safety verdict without "
+              "changing the command sequence; destroyed counts are stable "
+              "across scan periods (discretization-robust physics).\n");
+}
+
+void BM_CascadeHalfYear(benchmark::State& state) {
+  malware::stuxnet::AttackTiming timing;
+  for (auto _ : state) {
+    auto result = run_cascade(timing, true, sim::minutes(state.range(0)),
+                              sim::days(180));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_CascadeHalfYear)->Arg(1)->Arg(15)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::header("ABLATION: Stuxnet-model design knobs",
+                    "DESIGN.md §5 modelling choices");
+  reproduce();
+  return benchutil::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,64 @@
+#pragma once
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary follows the same shape: print the reproduced
+// table/series for its figure or trend (deterministic, seed-fixed), then
+// hand over to google-benchmark for the performance measurements. Keeping
+// the reproduction in plain stdout keeps `for b in build/bench/*; do $b;
+// done` self-contained.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "pki/signing.hpp"
+
+namespace cyd::benchutil {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n-- %s --\n", name.c_str());
+}
+
+/// A commercial code-signing ecosystem: one trusted root plus a leaf issued
+/// to `subject`. Installs the root into the given host-independent stores.
+struct SigningIdentity {
+  pki::CertificateAuthority ca;
+  pki::KeyPair key;
+  pki::Certificate cert;
+
+  static SigningIdentity make(const std::string& subject,
+                              std::uint64_t seed) {
+    auto ca = pki::CertificateAuthority::create_root(
+        "Commercial Root CA", pki::HashAlgorithm::kStrong64, 0,
+        sim::days(20000), seed);
+    auto key = pki::KeyPair::generate(seed ^ 0x99);
+    auto cert = ca.issue(subject, pki::kUsageCodeSigning,
+                         pki::HashAlgorithm::kStrong64, 0, sim::days(20000),
+                         key);
+    return SigningIdentity{std::move(ca), key, std::move(cert)};
+  }
+
+  void trust_on(winsys::Host& host) const {
+    host.cert_store().add(ca.certificate());
+    host.trust_store().trust_root(ca.certificate().serial);
+  }
+};
+
+/// Runs the registered google-benchmark cases with default settings.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace cyd::benchutil

@@ -1,0 +1,135 @@
+// FIG-1 — "Overview of Stuxnet Malware Operation" (paper Fig. 1).
+//
+// The figure shows the three-level attack: (1) compromise Windows,
+// (2) compromise the Step 7 application, (3) compromise the PLC. This bench
+// runs the full Natanz campaign and prints the level-by-level ledger plus
+// the monthly sabotage series: destroyed centrifuges climb while the
+// operator-visible telemetry never leaves the normal band.
+
+#include "bench_util.hpp"
+#include "core/user_behavior.hpp"
+#include "malware/stuxnet/stuxnet.hpp"
+
+using namespace cyd;
+
+namespace {
+
+struct CampaignResult {
+  std::size_t windows_infections = 0;
+  std::size_t project_infections = 0;
+  std::size_t dll_replacements = 0;
+  std::size_t plc_strikes = 0;
+  std::size_t destroyed = 0;
+  std::size_t total = 0;
+  bool safety_tripped = false;
+  bool operator_saw = false;
+};
+
+void run_campaign(bool print) {
+  core::World world(0x57);
+  world.add_internet_landmarks();
+  core::NatanzSpec spec;
+  auto site = core::build_natanz_site(world, spec);
+
+  malware::stuxnet::StuxnetConfig config;
+  config.plc_timing.observe_window = sim::days(13);
+  config.plc_timing.cover_duration = sim::days(27);
+  malware::stuxnet::Stuxnet stuxnet(world.sim(), world.network(),
+                                    world.programs(), world.s7_registry(),
+                                    world.tracker(), config);
+
+  auto& stick = world.add_usb("integrator-stick");
+  stuxnet.arm_usb(stick);
+  core::schedule_usb_courier(world, stick,
+                             {site.office[0], site.office[3], site.eng_laptop},
+                             sim::hours(8));
+  for (std::size_t c = 0; c < site.cascades.size(); ++c) {
+    const auto project =
+        site.step7->create_project("a2" + std::to_string(1 + c));
+    core::schedule_engineering_work(world, *site.step7, project,
+                                    site.cascades[c],
+                                    sim::days(1) + sim::hours(2 * c));
+  }
+
+  if (print) {
+    benchutil::section("monthly series (who wins: the worm, silently)");
+    std::printf("%-10s %-9s %-10s %-10s %-9s %-8s %-s\n", "month",
+                "infected", "strikes", "destroyed", "hmi-Hz", "true-Hz",
+                "safety");
+  }
+  for (int month = 1; month <= 12; ++month) {
+    world.sim().run_for(30 * sim::kDay);
+    if (!print) continue;
+    double hmi = 0, actual = 0;
+    for (auto* plc : site.cascades) {
+      hmi += plc->reported_frequency();
+      actual += plc->actual_frequency();
+    }
+    hmi /= static_cast<double>(site.cascades.size());
+    actual /= static_cast<double>(site.cascades.size());
+    std::printf("%-10d %-9zu %-10zu %4zu/%-5zu %-9.0f %-8.0f %-s\n", month,
+                world.tracker().infected_count("stuxnet"),
+                stuxnet.plc_strikes(), site.destroyed_centrifuges(),
+                site.total_centrifuges(), hmi, actual,
+                site.any_safety_tripped() ? "TRIPPED" : "quiet");
+  }
+
+  if (print) {
+    CampaignResult result;
+    result.windows_infections = world.tracker().infected_count("stuxnet");
+    result.plc_strikes = stuxnet.plc_strikes();
+    result.destroyed = site.destroyed_centrifuges();
+    result.total = site.total_centrifuges();
+    result.safety_tripped = site.any_safety_tripped();
+    auto* inf = malware::stuxnet::Stuxnet::find(*site.eng_laptop);
+    result.dll_replacements =
+        inf != nullptr && inf->step7_dll_replaced ? 1 : 0;
+    result.project_infections =
+        world.sim().trace().count_action("stuxnet.project-infected");
+    for (const auto& hmi : site.hmis) {
+      if (hmi->operator_saw_anomaly(800.0, 1250.0)) result.operator_saw = true;
+    }
+
+    benchutil::section("the three levels of Fig. 1");
+    std::printf("level 1  compromising Windows      : %zu hosts infected "
+                "(vectors: usb-lnk + spooler + shares)\n",
+                result.windows_infections);
+    std::printf("level 2  compromising Step 7       : s7otbxdx.dll replaced=%zu, "
+                "projects contaminated=%zu\n",
+                result.dll_replacements, result.project_infections);
+    std::printf("level 3  compromising the PLC      : %zu cascade PLCs "
+                "injected, %zu/%zu centrifuges destroyed\n",
+                result.plc_strikes, result.destroyed, result.total);
+    benchutil::section("stealth verdict");
+    std::printf("digital safety system tripped      : %s\n",
+                result.safety_tripped ? "YES (deception failed)" : "no");
+    std::printf("operator saw an out-of-band value  : %s\n",
+                result.operator_saw ? "YES" : "no");
+    std::printf("C&C check-ins from the site        : %zu\n",
+                stuxnet.c2().victim_count());
+  }
+}
+
+void BM_NatanzCampaignYear(benchmark::State& state) {
+  for (auto _ : state) run_campaign(/*print=*/false);
+}
+BENCHMARK(BM_NatanzCampaignYear)->Unit(benchmark::kMillisecond);
+
+void BM_PlcScanCycle(benchmark::State& state) {
+  sim::Simulation simulation;
+  scada::Plc plc(simulation, "bench-plc");
+  auto& drive = plc.bus().add_drive("d", scada::DriveVendor::kVacon);
+  for (int i = 0; i < 164; ++i) drive.add_centrifuge(std::to_string(i));
+  plc.set_operator_setpoint(1064.0);
+  for (auto _ : state) plc.scan_once(sim::kMinute);
+}
+BENCHMARK(BM_PlcScanCycle);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::header("FIG-1: Stuxnet operation overview (Natanz campaign)",
+                    "Figure 1 — three-level attack: Windows -> Step 7 -> PLC");
+  run_campaign(/*print=*/true);
+  return benchutil::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,123 @@
+// FIG-2 — "Flame Man-In-The-Middle Attack" (paper Fig. 2).
+//
+// One infected machine answers WPAD broadcasts (SNACK), becomes the subnet's
+// proxy, intercepts Windows Update checks (MUNCH) and substitutes a fake
+// update signed with the forged certificate (GADGET). The bench prints the
+// infection series across a LAN, and the dependency of the attack on the
+// two preconditions the paper identifies: the WPAD fallback on the victim
+// and the certificate trick on the wire.
+
+#include "bench_util.hpp"
+#include "core/user_behavior.hpp"
+#include "malware/flame/flame.hpp"
+#include "pki/forgery.hpp"
+
+using namespace cyd;
+
+namespace {
+
+struct MitmOutcome {
+  std::size_t infected = 0;
+  std::size_t mitm_infections = 0;
+  std::size_t signature_rejections = 0;
+};
+
+MitmOutcome run_lan(std::size_t lan_size, int wpad_vulnerable_pct,
+                    bool forged_cert, bool advisory_applied, bool print) {
+  core::World world(0xf16 + static_cast<std::uint64_t>(wpad_vulnerable_pct));
+  world.add_internet_landmarks();
+
+  malware::flame::FlameConfig config;
+  config.default_domains = {"traffic-spot.biz"};
+  malware::flame::Flame flame(world.sim(), world.network(),
+                              world.programs(), world.tracker(), config);
+  if (forged_cert) {
+    auto activation = world.microsoft().activate_license_server("VictimOrg");
+    auto forged =
+        pki::forge_code_signing_cert(activation.license_cert, "MS", 0xf2);
+    flame.set_forged_signer(forged->certificate, forged->private_key);
+  }
+
+  core::FleetSpec spec;
+  spec.subnet = "lan";
+  spec.count = lan_size;
+  spec.vulns = {};  // WPAD susceptibility assigned per quota below
+  auto fleet = core::make_office_fleet(world, spec);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (static_cast<int>(i * 100 / lan_size) < wpad_vulnerable_pct) {
+      fleet[i]->make_vulnerable(exploits::VulnId::kWpadNetbios);
+    }
+    if (advisory_applied) {
+      world.microsoft().apply_advisory_2718704(fleet[i]->trust_store());
+    }
+    core::schedule_browsing(world, *fleet[i],
+                            sim::hours(4) + sim::minutes(7 * (i % 11)));
+    core::schedule_wu_checks(world, *fleet[i],
+                             sim::days(1) + sim::minutes(13 * (i % 7)));
+  }
+
+  flame.infect(*fleet[0], "targeted-drop");
+
+  MitmOutcome outcome;
+  if (print) {
+    std::printf("%-6s %-10s %-10s\n", "day", "infected", "via-mitm");
+  }
+  for (int day = 1; day <= 14; ++day) {
+    world.sim().run_for(sim::kDay);
+    if (print && (day <= 5 || day % 2 == 0)) {
+      std::printf("%-6d %-10zu %-10zu\n", day,
+                  world.tracker().infected_count("flame"),
+                  flame.mitm_infections());
+    }
+  }
+  outcome.infected = world.tracker().infected_count("flame");
+  outcome.mitm_infections = flame.mitm_infections();
+  outcome.signature_rejections =
+      world.sim().trace().count_action("wu.signature-rejected");
+  return outcome;
+}
+
+void reproduce() {
+  benchutil::section("spread on a 30-host LAN (all WPAD-vulnerable, forged cert)");
+  run_lan(30, 100, /*forged_cert=*/true, /*advisory=*/false, /*print=*/true);
+
+  benchutil::section("preconditions matrix (victims infected after 14 days)");
+  std::printf("%-44s %-10s %-10s %-8s\n", "configuration", "infected",
+              "via-mitm", "wu-rejects");
+  struct Case {
+    const char* label;
+    int wpad_pct;
+    bool forged;
+    bool advisory;
+  } cases[] = {
+      {"WPAD open, forged cert (the attack)", 100, true, false},
+      {"WPAD open, NO forged cert", 100, false, false},
+      {"WPAD open, forged cert, post-advisory", 100, true, true},
+      {"WPAD fixed (DNS-only), forged cert", 0, true, false},
+      {"half the LAN WPAD-vulnerable", 50, true, false},
+  };
+  for (const auto& c : cases) {
+    const auto outcome =
+        run_lan(30, c.wpad_pct, c.forged, c.advisory, /*print=*/false);
+    std::printf("%-44s %-10zu %-10zu %-8zu\n", c.label, outcome.infected,
+                outcome.mitm_infections, outcome.signature_rejections);
+  }
+}
+
+void BM_Mitm14Days(benchmark::State& state) {
+  for (auto _ : state) {
+    auto outcome = run_lan(static_cast<std::size_t>(state.range(0)), 100,
+                           true, false, false);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_Mitm14Days)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::header("FIG-2: Flame WPAD MITM + fake Windows Update",
+                    "Figure 2 — SNACK/MUNCH/GADGET proxy hijack");
+  reproduce();
+  return benchutil::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,140 @@
+// TREND-F — §V-F "Suiciding Malwares".
+//
+// "The module completely removes the malware from a system, deleting every
+// single trace of its existence... this makes any forensics investigation
+// very difficult." The experiment runs identical Flame operations to the
+// same depth and ends them four ways, then sends in the forensics team —
+// on the victims and on a seized C&C server.
+
+#include "bench_util.hpp"
+#include "analysis/forensics.hpp"
+#include "cnc/attack_center.hpp"
+#include "malware/flame/flame.hpp"
+
+using namespace cyd;
+
+namespace {
+
+const std::vector<std::string> kFlameIndicators = {
+    "mssecmgr", "advnetcfg", "msglu32", "nteps32", "soapr32", "mscrypt"};
+
+struct Ending {
+  const char* label;
+  bool order_suicide;
+  bool wipe_server_logs;
+  bool abandon;  // operators walk away leaving everything in place
+};
+
+struct Evidence {
+  std::size_t live = 0;
+  std::size_t recovered = 0;
+  std::size_t shredded = 0;
+  double recoverability = 0;
+  analysis::ServerForensics server;
+};
+
+Evidence run(const Ending& ending) {
+  core::World world(0xf0);
+  world.add_internet_landmarks();
+  cnc::AttackCenter center(world.sim(), 0xf1);
+  cnc::CncServer server(world.sim(), "cc-0", {"quiet-zone.net"},
+                        center.upload_key());
+  server.deploy(world.network());
+  server.start_purge_task();
+  center.manage(server);
+  center.start_collection_task(sim::hours(6));
+
+  malware::flame::FlameConfig config;
+  config.default_domains = {"quiet-zone.net"};
+  malware::flame::Flame flame(world.sim(), world.network(),
+                              world.programs(), world.tracker(), config);
+  flame.set_upload_key(center.upload_key());
+
+  core::FleetSpec spec;
+  spec.count = 8;
+  auto fleet = core::make_office_fleet(world, spec);
+  for (auto* host : fleet) flame.infect(*host, "targeted-drop");
+
+  world.sim().run_for(sim::days(30));  // a month of quiet espionage
+
+  // Discovery day.
+  if (ending.order_suicide) center.order_suicide();
+  if (ending.wipe_server_logs && !ending.order_suicide) {
+    server.run_log_wiper();
+  }
+  world.sim().run_for(sim::days(2));  // kill order propagates on beacons
+
+  Evidence evidence;
+  for (auto* host : fleet) {
+    const auto report = analysis::examine_host(*host, kFlameIndicators);
+    evidence.live += report.live_artifacts.size();
+    evidence.recovered += report.recovered_files.size();
+    evidence.shredded += report.shredded_remnants;
+  }
+  const double with_content =
+      static_cast<double>(evidence.live + evidence.recovered);
+  const double total = with_content + static_cast<double>(evidence.shredded);
+  evidence.recoverability = total == 0 ? 0 : with_content / total;
+  evidence.server = analysis::examine_server(server);
+  (void)ending.abandon;
+  return evidence;
+}
+
+void reproduce() {
+  const Ending endings[] = {
+      {"operators abandon everything", false, false, true},
+      {"LogWiper on the server only", false, true, false},
+      {"SUICIDE broadcast (Flame's ending)", true, true, false},
+  };
+  benchutil::section("victim-side evidence after each ending (8 hosts)");
+  std::printf("%-38s %-7s %-11s %-10s %-15s\n", "ending", "live",
+              "recovered", "shredded", "recoverability");
+  std::vector<Evidence> results;
+  for (const auto& ending : endings) {
+    const auto evidence = run(ending);
+    std::printf("%-38s %-7zu %-11zu %-10zu %.0f%%\n", ending.label,
+                evidence.live, evidence.recovered, evidence.shredded,
+                100.0 * evidence.recoverability);
+    results.push_back(evidence);
+  }
+
+  benchutil::section("seized C&C server, same three endings");
+  std::printf("%-38s %-10s %-9s %-9s %-9s\n", "ending", "log-lines",
+              "db-rows", "entries", "clients");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-38s %-10zu %-9zu %-9zu %-9zu\n", endings[i].label,
+                results[i].server.access_log_lines,
+                results[i].server.database_rows,
+                results[i].server.entries_on_disk,
+                results[i].server.client_identities);
+  }
+  std::printf("\nexpected shape: the abandoned operation leaves a full "
+              "evidence trail; SUICIDE drives victim-side recoverability to "
+              "zero (shredded remnants prove existence, nothing more) while "
+              "the purge + LogWiper leave a seized server with database "
+              "stubs only — matching what investigators actually found.\n");
+}
+
+void BM_ForensicSweep(benchmark::State& state) {
+  sim::Simulation simulation;
+  winsys::ProgramRegistry programs;
+  winsys::Host host(simulation, programs, "victim", winsys::OsVersion::kWin7);
+  for (int i = 0; i < 200; ++i) {
+    host.fs().write_file("c:\\users\\docs\\file" + std::to_string(i), "x", 0);
+  }
+  host.fs().write_file("c:\\windows\\system32\\mssecmgr.ocx", "main", 0);
+  for (auto _ : state) {
+    auto report = analysis::examine_host(host, kFlameIndicators);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_ForensicSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::header("TREND-F: suicide modules vs the forensics team",
+                    "Section V-F");
+  reproduce();
+  return benchutil::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,116 @@
+// Paper §III: a Flame espionage operation end-to-end — C&C fleet, targeted
+// infections, two-phase collection, WPAD/Windows-Update MITM spreading with
+// a forged certificate, USB ferry across an air gap, and finally SUICIDE.
+
+#include <cstdio>
+
+#include "cnc/attack_center.hpp"
+#include "cnc/domains.hpp"
+#include "core/scenario.hpp"
+#include "core/user_behavior.hpp"
+#include "malware/flame/flame.hpp"
+#include "pki/forgery.hpp"
+
+using namespace cyd;
+
+int main() {
+  core::World world(/*seed=*/0xf1a);
+  world.add_internet_landmarks();
+
+  // --- attacker infrastructure: 20 domains on 4 servers, one center ---
+  cnc::AttackCenter center(world.sim(), 0xc0ffee);
+  auto fleet_rng = world.rng().fork();
+  const auto domains = cnc::DomainFleet::generate(20, 4, fleet_rng);
+  std::vector<std::unique_ptr<cnc::CncServer>> servers;
+  for (int s = 0; s < 4; ++s) {
+    auto server_domains =
+        cnc::DomainFleet::domains_of(domains, "cc-" + std::to_string(s));
+    servers.push_back(std::make_unique<cnc::CncServer>(
+        world.sim(), "cc-" + std::to_string(s), server_domains,
+        center.upload_key()));
+    servers.back()->deploy(world.network());
+    servers.back()->start_purge_task();
+    center.manage(*servers.back());
+  }
+  center.start_collection_task(sim::hours(4));
+
+  // --- the malware, armed with the forged Terminal Services certificate ---
+  malware::flame::FlameConfig config;
+  for (std::size_t i = 0; i < 5; ++i) config.default_domains.push_back(domains[i].domain);
+  for (std::size_t i = 0; i < 10; ++i) config.extended_domains.push_back(domains[i].domain);
+  malware::flame::Flame flame(world.sim(), world.network(),
+                              world.programs(), world.tracker(), config);
+  flame.set_upload_key(center.upload_key());
+  auto activation = world.microsoft().activate_license_server("AnyCorp");
+  auto forged = pki::forge_code_signing_cert(activation.license_cert,
+                                             "MS", 0xf00d);
+  flame.set_forged_signer(forged->certificate, forged->private_key);
+
+  // --- victims: a ministry LAN + an air-gapped research cell ---
+  core::FleetSpec ministry;
+  ministry.name_prefix = "ministry";
+  ministry.subnet = "ministry";
+  ministry.count = 12;
+  ministry.vulns.push_back(exploits::VulnId::kWpadNetbios);
+  auto hosts = core::make_office_fleet(world, ministry);
+  for (auto* host : hosts) {
+    core::schedule_browsing(world, *host, sim::hours(5));
+    core::schedule_wu_checks(world, *host, sim::days(1));
+    core::schedule_document_work(world, *host, sim::days(2));
+  }
+  hosts[3]->registry().set("hklm\\hardware\\audio", "microphone",
+                           std::uint32_t{1});
+  hosts[3]->bluetooth().present = true;
+  hosts[3]->bluetooth().nearby_devices = {"diplomat-phone", "driver-phone"};
+
+  core::FleetSpec cell;
+  cell.name_prefix = "research";
+  cell.subnet = "research-cell";
+  cell.count = 3;
+  cell.internet_pct = 0;  // fully air-gapped
+  auto cell_hosts = core::make_office_fleet(world, cell);
+
+  // Patient zero plus a direct implant in the cell.
+  flame.infect(*hosts[0], "targeted-drop");
+  flame.infect(*cell_hosts[0], "contractor-visit");
+
+  // A courier stick moves between the connected ministry and the cell.
+  auto& stick = world.add_usb("ministry-courier");
+  core::schedule_usb_courier(world, stick, {hosts[0], cell_hosts[0]},
+                             sim::hours(12));
+
+  std::printf("%-6s %-9s %-8s %-12s %-10s %-8s\n", "week", "infected",
+              "mitm", "exfil-bytes", "ferry-out", "entries");
+  for (int week = 1; week <= 10; ++week) {
+    world.sim().run_for(7 * sim::kDay);
+    std::size_t entries = 0;
+    for (const auto& server : servers) entries += server->entries().size();
+    auto* cell_inf = malware::flame::Flame::find(*cell_hosts[0]);
+    std::printf("%-6d %-9zu %-8zu %-12llu %-10d %-8zu\n", week,
+                world.tracker().infected_count("flame"),
+                flame.mitm_infections(),
+                static_cast<unsigned long long>(center.archived_bytes()),
+                cell_inf != nullptr ? cell_inf->usb_ferry_writes : 0,
+                entries);
+  }
+
+  std::printf("\ndocuments in the coordinator's archive: %zu\n",
+              center.archive().size());
+  std::printf("victims known to the platform: ");
+  std::size_t clients = 0;
+  for (const auto& server : servers) clients += server->known_clients().size();
+  std::printf("%zu client ids across %zu servers\n", clients, servers.size());
+
+  // --- discovery day: the kill switch ---
+  center.order_suicide();
+  world.sim().run_for(sim::days(2));
+  std::size_t active = 0;
+  for (auto* host : world.hosts()) {
+    auto* inf = malware::flame::Flame::find(*host);
+    if (inf != nullptr && inf->active()) ++active;
+  }
+  std::printf("after SUICIDE broadcast: %zu active infections remain "
+              "(air-gapped implants outlive the kill switch)\n",
+              active);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: the cyberdissect API in ~80 lines.
+//
+// Builds a five-host office, seeds a Stuxnet-armed USB stick, watches the
+// worm spread, then runs the analyst side: YARA sweep + forensics.
+
+#include <cstdio>
+
+#include "analysis/forensics.hpp"
+#include "analysis/yara.hpp"
+#include "core/scenario.hpp"
+#include "core/user_behavior.hpp"
+#include "malware/stuxnet/stuxnet.hpp"
+
+using namespace cyd;
+
+int main() {
+  // 1) A world: simulation clock + network + registries, all deterministic.
+  core::World world(/*seed=*/42);
+  world.add_internet_landmarks();
+
+  // 2) Five vulnerable office workstations.
+  core::FleetSpec spec;
+  spec.count = 5;
+  auto fleet = core::make_office_fleet(world, spec);
+
+  // 3) The Stuxnet family object: registers its behaviours, deploys its C2.
+  malware::stuxnet::Stuxnet stuxnet(world.sim(), world.network(),
+                                    world.programs(), world.s7_registry(),
+                                    world.tracker());
+
+  // 4) Initial access: a crafted stick plugged into workstation 0.
+  auto& stick = world.add_usb("conference-giveaway");
+  stuxnet.arm_usb(stick);
+  fleet[0]->plug_usb(stick);
+
+  // 5) Let two simulated weeks pass (beacons, spooler spreading, ...).
+  world.sim().run_for(sim::days(14));
+
+  std::printf("== campaign ==\n");
+  std::printf("infected hosts : %zu / %zu\n",
+              world.tracker().infected_count("stuxnet"), fleet.size());
+  for (const auto& [vector, count] :
+       world.tracker().infections_by_vector("stuxnet")) {
+    std::printf("  via %-18s %zu\n", vector.c_str(), count);
+  }
+  std::printf("C2 check-ins   : %zu victims\n",
+              stuxnet.c2().victim_count());
+
+  // 6) Blue team: sweep every host with a YARA rule and examine the worst.
+  const auto rules = analysis::RuleSet::parse(R"(
+rule Stuxnet_Artifacts {
+  meta: family = stuxnet
+  strings:
+    $a = "~wtr4132"
+    $b = "mrxcls"
+  condition: any of them
+})");
+  std::size_t total_hits = 0;
+  for (auto* host : fleet) total_hits += rules.scan_host(*host).size();
+  std::printf("yara hits      : %zu artifacts across the fleet\n",
+              total_hits);
+
+  const auto forensics = analysis::examine_host(
+      *fleet[0], {"~wtr", "mrxcls", "oem7a", "mypremierfutbol"});
+  std::printf("forensics(ws0) : %zu live artifacts, recoverability %.0f%%\n",
+              forensics.live_artifacts.size(),
+              100.0 * forensics.recoverability());
+
+  std::printf("\ntrace tail:\n%s",
+              world.sim().trace().render_tail(6).c_str());
+  return 0;
+}

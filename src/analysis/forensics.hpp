@@ -1,0 +1,53 @@
+#pragma once
+// Post-incident forensics (trend §V-F: suiciding malware).
+//
+// Measures what an investigator can still recover after an infection ended:
+// live artifacts matching indicators, deleted-but-recoverable tombstones,
+// and shredded remnants (existence provable, content gone). The C&C-side
+// variant inspects a seized server for logs, database rows and undelivered
+// entries — the material LogWiper.sh and the 30-minute purge are built to
+// destroy.
+
+#include <string>
+#include <vector>
+
+#include "cnc/server.hpp"
+#include "winsys/host.hpp"
+
+namespace cyd::analysis {
+
+struct HostForensics {
+  std::vector<std::string> live_artifacts;       // paths still on disk
+  std::vector<std::string> recovered_files;      // carved from tombstones
+  std::size_t shredded_remnants = 0;             // unrecoverable traces
+  std::size_t event_log_mentions = 0;            // AV/system log entries
+
+  std::size_t total_evidence() const {
+    return live_artifacts.size() + recovered_files.size() +
+           event_log_mentions;
+  }
+  /// Fraction of once-present indicator files whose *content* survives.
+  double recoverability() const;
+};
+
+/// Sweeps disk, tombstones and event log for the indicator substrings
+/// (matched case-insensitively against paths and log text).
+HostForensics examine_host(const winsys::Host& host,
+                           const std::vector<std::string>& indicators);
+
+struct ServerForensics {
+  bool logs_wiped = false;
+  std::size_t access_log_lines = 0;
+  std::size_t database_rows = 0;
+  std::size_t entries_on_disk = 0;     // stolen-data files still present
+  std::size_t client_identities = 0;   // rows naming victims
+
+  std::size_t total_evidence() const {
+    return access_log_lines + database_rows + entries_on_disk;
+  }
+};
+
+/// What seizing a C&C box yields.
+ServerForensics examine_server(const cnc::CncServer& server);
+
+}  // namespace cyd::analysis

@@ -1,0 +1,65 @@
+#include "analysis/ioc.hpp"
+
+#include "winsys/path.hpp"
+
+namespace cyd::analysis {
+namespace {
+
+bool is_noise_domain(const std::string& domain) {
+  return domain == "www.windowsupdate.com" || domain == "www.msn.com" ||
+         domain == "update.microsoft.com";
+}
+
+}  // namespace
+
+std::vector<std::string> IocSet::indicators() const {
+  std::vector<std::string> out;
+  out.insert(out.end(), file_names.begin(), file_names.end());
+  out.insert(out.end(), domains.begin(), domains.end());
+  out.insert(out.end(), service_names.begin(), service_names.end());
+  return out;
+}
+
+IocSet extract_iocs(const BehaviorReport& report, std::string label) {
+  IocSet iocs;
+  iocs.label = std::move(label);
+  for (const auto& path : report.files_written) {
+    iocs.file_names.insert(winsys::Path(path).filename());
+  }
+  for (const auto& entry : report.usb_payloads) {
+    iocs.file_names.insert(winsys::Path(entry).filename());
+  }
+  for (const auto& domain : report.domains_contacted) {
+    if (!is_noise_domain(domain)) iocs.domains.insert(domain);
+  }
+  for (const auto& detail : report.services_installed) {
+    // Trace detail looks like "Name -> c:\path"; keep the name token.
+    const auto arrow = detail.find(" -> ");
+    iocs.service_names.insert(
+        arrow == std::string::npos ? detail : detail.substr(0, arrow));
+  }
+  return iocs;
+}
+
+RuleSet compile_rules(const IocSet& iocs) {
+  RuleSet set;
+  YaraRule rule;
+  rule.name = iocs.label.empty() ? "Generated_IOC_Rule" : iocs.label;
+  rule.meta["family"] = iocs.label;
+  rule.meta["source"] = "sandbox-ioc";
+  int counter = 0;
+  for (const auto& name : iocs.file_names) {
+    if (name.size() < 5) continue;  // too generic to be a signature
+    rule.strings.push_back(
+        YaraString{"$f" + std::to_string(counter++), name});
+  }
+  for (const auto& domain : iocs.domains) {
+    rule.strings.push_back(
+        YaraString{"$d" + std::to_string(counter++), domain});
+  }
+  rule.condition = YaraCondition::kAny;
+  if (!rule.strings.empty()) set.add(std::move(rule));
+  return set;
+}
+
+}  // namespace cyd::analysis

@@ -1,0 +1,39 @@
+#pragma once
+// Indicator-of-compromise extraction and rule generation.
+//
+// Turns a sandbox BehaviorReport into the shareable indicators real CERT
+// advisories carry — dropped file names, contacted domains, created
+// services — and compiles them into a YaraLite ruleset plus host-sweep
+// indicators, closing the loop from dissection to detection.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/sandbox.hpp"
+#include "analysis/yara.hpp"
+
+namespace cyd::analysis {
+
+struct IocSet {
+  std::string label;  // e.g. "W32.Disttrack"
+  std::set<std::string> file_names;   // basenames of dropped artifacts
+  std::set<std::string> domains;
+  std::set<std::string> service_names;
+
+  std::size_t size() const {
+    return file_names.size() + domains.size() + service_names.size();
+  }
+  /// Flat indicator list for forensics sweeps.
+  std::vector<std::string> indicators() const;
+};
+
+/// Distils indicators from dynamic-analysis output. Stock Windows paths and
+/// sandbox landmarks are filtered out so the set stays actionable.
+IocSet extract_iocs(const BehaviorReport& report, std::string label);
+
+/// Compiles filename indicators into a one-rule RuleSet that flags any byte
+/// stream referencing them (droppers embed their artifact names).
+RuleSet compile_rules(const IocSet& iocs);
+
+}  // namespace cyd::analysis

@@ -1,0 +1,133 @@
+#include "analysis/similarity.hpp"
+
+#include <functional>
+
+#include "analysis/static_analysis.hpp"
+#include "pe/image.hpp"
+
+namespace cyd::analysis {
+namespace {
+
+void collect_features(const pe::Image& image, SpecimenFeatures& out,
+                      int max_depth) {
+  for (const auto& section : image.sections) {
+    out.section_names.insert(section.name);
+    for (auto& s : extract_strings(section.data)) {
+      out.strings.insert(std::move(s));
+    }
+  }
+  for (const auto& import : image.imports) {
+    for (const auto& fn : import.functions) {
+      out.imports.insert(import.dll + "!" + fn);
+    }
+  }
+  for (auto& s : extract_strings(image.version_info)) {
+    out.strings.insert(std::move(s));
+  }
+  if (max_depth <= 0) return;
+  for (const auto& resource : image.resources) {
+    common::Bytes payload = resource.data;
+    if (auto key = brute_xor_key(resource.data)) {
+      payload = common::xor_cipher(resource.data, *key);
+    }
+    if (pe::Image::looks_like_pe(payload)) {
+      try {
+        collect_features(pe::Image::parse(payload), out, max_depth - 1);
+        continue;
+      } catch (const pe::ParseError&) {
+      }
+    }
+    for (auto& s : extract_strings(payload)) out.strings.insert(std::move(s));
+  }
+}
+
+double jaccard(const std::set<std::string>& a,
+               const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t intersection = 0;
+  for (const auto& item : a) {
+    if (b.contains(item)) ++intersection;
+  }
+  const std::size_t union_size = a.size() + b.size() - intersection;
+  return union_size == 0
+             ? 0.0
+             : static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+}  // namespace
+
+SpecimenFeatures extract_features(std::string_view bytes, int max_depth) {
+  SpecimenFeatures out;
+  try {
+    collect_features(pe::Image::parse(bytes), out, max_depth);
+  } catch (const pe::ParseError&) {
+    for (auto& s : extract_strings(bytes)) out.strings.insert(std::move(s));
+  }
+  return out;
+}
+
+double similarity(const SpecimenFeatures& a, const SpecimenFeatures& b) {
+  // Engineering artifacts (imports, section layout) weigh more than
+  // free-floating strings.
+  const double s_strings = jaccard(a.strings, b.strings);
+  const double s_imports = jaccard(a.imports, b.imports);
+  const double s_sections = jaccard(a.section_names, b.section_names);
+  return 0.4 * s_strings + 0.35 * s_imports + 0.25 * s_sections;
+}
+
+double specimen_similarity(std::string_view a, std::string_view b) {
+  return similarity(extract_features(a), extract_features(b));
+}
+
+std::vector<double> similarity_matrix(
+    const std::vector<LabelledSpecimen>& specimens) {
+  const std::size_t n = specimens.size();
+  std::vector<SpecimenFeatures> features;
+  features.reserve(n);
+  for (const auto& specimen : specimens) {
+    features.push_back(extract_features(specimen.bytes));
+  }
+  std::vector<double> matrix(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    matrix[i * n + i] = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double score = similarity(features[i], features[j]);
+      matrix[i * n + j] = score;
+      matrix[j * n + i] = score;
+    }
+  }
+  return matrix;
+}
+
+std::vector<std::vector<std::string>> cluster_specimens(
+    const std::vector<LabelledSpecimen>& specimens, double threshold) {
+  const std::size_t n = specimens.size();
+  const auto matrix = similarity_matrix(specimens);
+  // Union-find over above-threshold edges (single linkage).
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find =
+      [&](std::size_t x) -> std::size_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (matrix[i * n + j] >= threshold) parent[find(i)] = find(j);
+    }
+  }
+  std::map<std::size_t, std::vector<std::string>> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    groups[find(i)].push_back(specimens[i].label);
+  }
+  std::vector<std::vector<std::string>> out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) out.push_back(std::move(members));
+  return out;
+}
+
+}  // namespace cyd::analysis

@@ -1,0 +1,186 @@
+#include "analysis/yara.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cyd::analysis {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  std::size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::invalid_argument("yara:" + std::to_string(line) + ": " +
+                              message);
+}
+
+/// Parses `{ ff d8 ff e0 }` into raw bytes.
+common::Bytes parse_hex_pattern(const std::string& body, int line) {
+  std::string hex;
+  for (char c : body) {
+    if (c == ' ' || c == '\t') continue;
+    hex.push_back(c);
+  }
+  try {
+    return common::from_hex(hex);
+  } catch (const std::invalid_argument&) {
+    fail(line, "bad hex pattern: " + body);
+  }
+}
+
+}  // namespace
+
+bool YaraRule::matches(std::string_view data) const {
+  if (strings.empty()) return false;
+  int hits = 0;
+  for (const auto& s : strings) {
+    if (data.find(s.pattern) != std::string_view::npos) ++hits;
+  }
+  switch (condition) {
+    case YaraCondition::kAny: return hits >= 1;
+    case YaraCondition::kAll:
+      return hits == static_cast<int>(strings.size());
+    case YaraCondition::kAtLeast: return hits >= at_least;
+  }
+  return false;
+}
+
+void RuleSet::add(YaraRule rule) { rules_.push_back(std::move(rule)); }
+
+RuleSet RuleSet::parse(const std::string& text) {
+  RuleSet set;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+
+  enum class Section { kNone, kMeta, kStrings, kCondition };
+  std::optional<YaraRule> current;
+  Section section = Section::kNone;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = trim(raw);
+    if (line.empty() || line.rfind("//", 0) == 0) continue;
+
+    if (line.rfind("rule ", 0) == 0) {
+      if (current) fail(line_no, "nested rule");
+      std::string name = trim(line.substr(5));
+      if (!name.empty() && name.back() == '{') name = trim(name.substr(0, name.size() - 1));
+      if (name.empty()) fail(line_no, "rule without a name");
+      current = YaraRule{};
+      current->name = name;
+      section = Section::kNone;
+      continue;
+    }
+    if (line == "}") {
+      if (!current) fail(line_no, "unmatched }");
+      if (current->strings.empty()) fail(line_no, "rule has no strings");
+      set.add(std::move(*current));
+      current.reset();
+      continue;
+    }
+    if (!current) fail(line_no, "statement outside rule: " + line);
+
+    if (line.rfind("meta:", 0) == 0) {
+      section = Section::kMeta;
+      line = trim(line.substr(5));
+      if (line.empty()) continue;
+    } else if (line.rfind("strings:", 0) == 0) {
+      section = Section::kStrings;
+      continue;
+    } else if (line.rfind("condition:", 0) == 0) {
+      section = Section::kCondition;
+      line = trim(line.substr(10));
+      if (line.empty()) fail(line_no, "empty condition");
+    }
+
+    switch (section) {
+      case Section::kMeta: {
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) fail(line_no, "meta needs key = value");
+        current->meta[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+        break;
+      }
+      case Section::kStrings: {
+        // $id = "literal"   or   $id = { hex }
+        if (line.empty() || line[0] != '$') {
+          fail(line_no, "string id must start with $");
+        }
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) fail(line_no, "string needs = pattern");
+        YaraString entry;
+        entry.id = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+          entry.pattern = value.substr(1, value.size() - 2);
+        } else if (value.size() >= 2 && value.front() == '{' &&
+                   value.back() == '}') {
+          entry.pattern =
+              parse_hex_pattern(value.substr(1, value.size() - 2), line_no);
+        } else {
+          fail(line_no, "pattern must be \"text\" or { hex }");
+        }
+        if (entry.pattern.empty()) fail(line_no, "empty pattern");
+        current->strings.push_back(std::move(entry));
+        break;
+      }
+      case Section::kCondition: {
+        if (line == "any of them") {
+          current->condition = YaraCondition::kAny;
+        } else if (line == "all of them") {
+          current->condition = YaraCondition::kAll;
+        } else {
+          // "N of them"
+          std::istringstream cond(line);
+          int n = 0;
+          std::string of, them;
+          if (cond >> n >> of >> them && of == "of" && them == "them" &&
+              n >= 1) {
+            current->condition = YaraCondition::kAtLeast;
+            current->at_least = n;
+          } else {
+            fail(line_no, "unsupported condition: " + line);
+          }
+        }
+        break;
+      }
+      case Section::kNone:
+        fail(line_no, "statement before any section: " + line);
+    }
+  }
+  if (current) fail(line_no, "unterminated rule " + current->name);
+  return set;
+}
+
+std::vector<YaraMatch> RuleSet::scan(std::string_view data) const {
+  std::vector<YaraMatch> out;
+  for (const auto& rule : rules_) {
+    if (rule.matches(data)) {
+      YaraMatch match;
+      match.rule = rule.name;
+      if (auto it = rule.meta.find("family"); it != rule.meta.end()) {
+        match.family = it->second;
+      }
+      out.push_back(std::move(match));
+    }
+  }
+  return out;
+}
+
+std::vector<HostScanHit> RuleSet::scan_host(const winsys::Host& host) const {
+  std::vector<HostScanHit> out;
+  for (const auto& path : host.fs().all_files()) {
+    const auto content = host.fs().read_file(path);
+    if (!content) continue;
+    for (const auto& match : scan(*content)) {
+      out.push_back(HostScanHit{path, match.rule, match.family});
+    }
+  }
+  return out;
+}
+
+}  // namespace cyd::analysis

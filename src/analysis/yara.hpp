@@ -1,0 +1,77 @@
+#pragma once
+// YaraLite: signature rules over byte content.
+//
+// The analyst-side counterpart of the malware modules: rules carry named
+// string/hex patterns and a condition (any / all / at-least-N), and can be
+// written in a compact textual DSL so rule feeds can travel as data:
+//
+//   rule Stuxnet_Dropper {
+//     meta: family = stuxnet
+//     strings:
+//       $mz   = "SPE1"
+//       $name = "~wtr4132"
+//       $hex  = { ff d8 ff e0 }
+//     condition: 2 of them
+//   }
+//
+// scan() evaluates rules over raw bytes; scan_host() sweeps a simulated
+// host's filesystem the way an on-demand AV scan would.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "winsys/host.hpp"
+
+namespace cyd::analysis {
+
+struct YaraString {
+  std::string id;        // "$name"
+  common::Bytes pattern; // raw bytes to find
+};
+
+enum class YaraCondition : std::uint8_t { kAny, kAll, kAtLeast };
+
+struct YaraRule {
+  std::string name;
+  std::map<std::string, std::string> meta;  // family, severity, ...
+  std::vector<YaraString> strings;
+  YaraCondition condition = YaraCondition::kAny;
+  int at_least = 1;  // used when condition == kAtLeast
+
+  /// True when the rule fires on `data`.
+  bool matches(std::string_view data) const;
+};
+
+struct YaraMatch {
+  std::string rule;
+  std::string family;  // meta "family" if present
+};
+
+struct HostScanHit {
+  winsys::Path path;
+  std::string rule;
+  std::string family;
+};
+
+class RuleSet {
+ public:
+  void add(YaraRule rule);
+  const std::vector<YaraRule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+
+  /// Parses the DSL; throws std::invalid_argument with a line-tagged message
+  /// on malformed input.
+  static RuleSet parse(const std::string& text);
+
+  std::vector<YaraMatch> scan(std::string_view data) const;
+  /// Scans every file on every mounted volume of `host`.
+  std::vector<HostScanHit> scan_host(const winsys::Host& host) const;
+
+ private:
+  std::vector<YaraRule> rules_;
+};
+
+}  // namespace cyd::analysis

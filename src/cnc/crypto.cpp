@@ -1,0 +1,76 @@
+#include "cnc/crypto.hpp"
+
+#include "sim/rng.hpp"
+
+namespace cyd::cnc {
+namespace {
+
+/// Deterministic keystream for a blob. Seeded from the *private* scalar so
+/// that, at the model level, producing the stream requires key possession;
+/// encrypt_for gets the same stream through the wrap value provisioned into
+/// the public half.
+common::Bytes keystream(std::uint64_t seed, std::size_t n) {
+  sim::Rng rng(seed ^ 0xc0dec0dec0dec0deULL);
+  return common::random_bytes(rng, n);
+}
+
+std::uint64_t derive_public(std::uint64_t private_scalar) {
+  common::Bytes material("cnc-pub");
+  common::put_u64(material, private_scalar);
+  return common::fnv1a64(material);
+}
+
+std::uint64_t derive_wrap(std::uint64_t private_scalar) {
+  common::Bytes material("cnc-wrap");
+  common::put_u64(material, private_scalar);
+  return common::fnv1a64(material);
+}
+
+}  // namespace
+
+CncKeyPair CncKeyPair::generate(std::uint64_t seed) {
+  CncKeyPair key;
+  common::Bytes material("cnc-priv");
+  common::put_u64(material, seed);
+  key.private_scalar = common::fnv1a64(material);
+  key.public_id = derive_public(key.private_scalar);
+  return key;
+}
+
+CncPublicKey public_half(const CncKeyPair& key) {
+  return CncPublicKey{key.public_id, derive_wrap(key.private_scalar)};
+}
+
+common::Bytes EncryptedBlob::serialize() const {
+  common::Bytes out("ENC1");
+  common::put_u64(out, key_id);
+  out.append(ciphertext);
+  return out;
+}
+
+std::optional<EncryptedBlob> EncryptedBlob::parse(std::string_view bytes) {
+  if (bytes.size() < 12 || bytes.substr(0, 4) != "ENC1") return std::nullopt;
+  EncryptedBlob blob;
+  blob.key_id = common::get_u64(bytes, 4);
+  blob.ciphertext = common::Bytes(bytes.substr(12));
+  return blob;
+}
+
+EncryptedBlob encrypt_for(const CncPublicKey& recipient,
+                          std::string_view plaintext) {
+  EncryptedBlob blob;
+  blob.key_id = recipient.public_id;
+  blob.ciphertext = common::xor_cipher(
+      plaintext, keystream(recipient.wrap, plaintext.size()));
+  return blob;
+}
+
+std::optional<common::Bytes> decrypt(const CncKeyPair& key,
+                                     const EncryptedBlob& blob) {
+  if (derive_public(key.private_scalar) != blob.key_id) return std::nullopt;
+  return common::xor_cipher(
+      blob.ciphertext,
+      keystream(derive_wrap(key.private_scalar), blob.ciphertext.size()));
+}
+
+}  // namespace cyd::cnc

@@ -1,0 +1,84 @@
+#include "cnc/domains.hpp"
+
+#include <set>
+
+namespace cyd::cnc {
+namespace {
+
+const char* kWordsA[] = {"traffic", "quick",  "smart",  "flush",  "banner",
+                         "dns",     "net",    "web",    "video",  "news",
+                         "auto",    "chrome", "update", "sync",   "mega"};
+const char* kWordsB[] = {"spot", "mask", "board", "portal", "cloud",
+                         "desk", "line", "zone",  "link",   "hub"};
+const char* kTlds[] = {".com", ".net", ".org", ".info", ".biz"};
+const char* kRegistrars[] = {"GoDaddy",     "eNom",     "Tucows",
+                             "NameCheap",   "1&1",      "OVH",
+                             "Key-Systems", "Directi"};
+const char* kFirstNames[] = {"Adolph", "Karl",   "Ivan",  "Traian",
+                             "Georg",  "Stefan", "Peter", "Lukas"};
+const char* kLastNames[] = {"Dybevek", "Schmidt", "Weber",  "Lucescu",
+                            "Gruber",  "Huber",   "Keller", "Maier"};
+// "fake addresses mostly in Germany and Austria": weight those countries.
+const char* kCountries[] = {"Germany", "Germany", "Germany", "Austria",
+                            "Austria", "Czechia", "Poland",  "Switzerland"};
+
+template <std::size_t N>
+const char* pick_from(const char* const (&pool)[N], sim::Rng& rng) {
+  return pool[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(N) - 1))];
+}
+
+}  // namespace
+
+std::vector<DomainRecord> DomainFleet::generate(std::size_t domain_count,
+                                                std::size_t server_count,
+                                                sim::Rng& rng) {
+  std::vector<DomainRecord> fleet;
+  fleet.reserve(domain_count);
+  std::set<std::string> used;
+  while (fleet.size() < domain_count) {
+    DomainRecord record;
+    record.domain = std::string(pick_from(kWordsA, rng)) +
+                    pick_from(kWordsB, rng) + pick_from(kTlds, rng);
+    if (!used.insert(record.domain).second) {
+      // Collision: append a counter-like suffix to keep the domain unique.
+      record.domain = record.domain.substr(0, record.domain.rfind('.')) +
+                      std::to_string(fleet.size()) +
+                      record.domain.substr(record.domain.rfind('.'));
+      if (!used.insert(record.domain).second) continue;
+    }
+    record.registrar = pick_from(kRegistrars, rng);
+    record.registrant = std::string(pick_from(kFirstNames, rng)) + " " +
+                        pick_from(kLastNames, rng);
+    record.registrant_country = pick_from(kCountries, rng);
+    record.server_id =
+        "cc-" + std::to_string(fleet.size() % (server_count == 0 ? 1 : server_count));
+    fleet.push_back(std::move(record));
+  }
+  return fleet;
+}
+
+std::vector<std::string> DomainFleet::domains_of(
+    const std::vector<DomainRecord>& fleet, const std::string& server_id) {
+  std::vector<std::string> out;
+  for (const auto& record : fleet) {
+    if (record.server_id == server_id) out.push_back(record.domain);
+  }
+  return out;
+}
+
+std::size_t DomainFleet::registrar_count(
+    const std::vector<DomainRecord>& fleet) {
+  std::set<std::string> distinct;
+  for (const auto& record : fleet) distinct.insert(record.registrar);
+  return distinct.size();
+}
+
+std::size_t DomainFleet::country_count(
+    const std::vector<DomainRecord>& fleet) {
+  std::set<std::string> distinct;
+  for (const auto& record : fleet) distinct.insert(record.registrant_country);
+  return distinct.size();
+}
+
+}  // namespace cyd::cnc

@@ -1,0 +1,43 @@
+#pragma once
+// The C&C domain fleet (paper Fig. 4).
+//
+// Flame's infrastructure: ~80 domains registered under fake identities
+// (addresses mostly in Germany and Austria) with a variety of registrars,
+// resolving to 22 server IPs hosted around the world, all driven by one
+// attack center. DomainFleet fabricates that registration layer
+// deterministically so the Fig. 4 bench can print the same shape.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace cyd::cnc {
+
+struct DomainRecord {
+  std::string domain;
+  std::string registrar;
+  std::string registrant;      // fake identity
+  std::string registrant_country;
+  std::string server_id;       // C&C server the domain points at
+};
+
+class DomainFleet {
+ public:
+  /// Fabricates `domain_count` registrations spread over `server_count`
+  /// servers, with GoDaddy-style registrar variety and fake identities.
+  static std::vector<DomainRecord> generate(std::size_t domain_count,
+                                            std::size_t server_count,
+                                            sim::Rng& rng);
+
+  /// Domains pointing at one server.
+  static std::vector<std::string> domains_of(
+      const std::vector<DomainRecord>& fleet, const std::string& server_id);
+
+  /// Distinct registrars used (diversity metric reported by analysts).
+  static std::size_t registrar_count(const std::vector<DomainRecord>& fleet);
+  static std::size_t country_count(const std::vector<DomainRecord>& fleet);
+};
+
+}  // namespace cyd::cnc

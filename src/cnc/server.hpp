@@ -1,0 +1,129 @@
+#pragma once
+// A command-and-control server (paper Fig. 5).
+//
+// The LAMP-style box: an HTTP endpoint backed by a database and the
+// `newsforyou` folder trio —
+//   ads/      commands & updates for one specific client
+//   news/     commands & updates for every client
+//   entries/  stolen data uploaded by clients, awaiting pickup
+// Clients speak two verbs: GET_NEWS (fetch ads+news) and ADD_ENTRY (upload
+// an encrypted blob). The attack center retrieves entries out-of-band (the
+// "military-like" dead-drop: the two sides never talk directly). A purge
+// task deletes retrieved entries every 30 minutes, and LogWiper.sh destroys
+// the access log and finally itself.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cnc/crypto.hpp"
+#include "cnc/database.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace cyd::cnc {
+
+/// Client type tags observed on real Flame infrastructure: Flame itself was
+/// only one of four supported client families.
+inline constexpr const char* kClientTypeFl = "FL";
+inline constexpr const char* kClientTypeSp = "SP";
+inline constexpr const char* kClientTypeSpe = "SPE";
+inline constexpr const char* kClientTypeIp = "IP";
+
+struct Payload {
+  std::string name;
+  common::Bytes data;
+};
+
+struct Entry {
+  std::uint64_t id = 0;
+  std::string client_id;
+  std::string client_type;
+  std::string data_name;
+  EncryptedBlob blob;
+  sim::TimePoint received_at = 0;
+  bool retrieved = false;  // picked up by the attack center
+};
+
+/// Wire helpers shared by server and clients.
+common::Bytes serialize_payloads(const std::vector<Payload>& payloads);
+std::vector<Payload> parse_payloads(std::string_view bytes);
+common::Bytes serialize_entry_upload(const std::string& data_name,
+                                     const EncryptedBlob& blob);
+
+class CncServer {
+ public:
+  CncServer(sim::Simulation& simulation, std::string server_id,
+            std::vector<std::string> domains, CncPublicKey upload_key);
+
+  const std::string& id() const { return server_id_; }
+  const std::vector<std::string>& domains() const { return domains_; }
+  const CncPublicKey& upload_key() const { return upload_key_; }
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+  /// Registers every domain with the network's internet DNS.
+  void deploy(net::Network& network);
+  /// Drops off the internet (seizure / takedown).
+  void undeploy(net::Network& network);
+
+  // --- protocol entry point (also callable directly in tests) ---
+  net::HttpResponse handle(const net::HttpRequest& request);
+
+  // --- attack-center side (out-of-band management channel) ---
+  void push_ad(const std::string& client_id, Payload payload);
+  void push_news(Payload payload);
+  /// New (unretrieved) entries; marks them retrieved. Entry *files* stay on
+  /// disk until the purge task runs — deletion follows pickup, not the
+  /// other way around.
+  std::vector<Entry> take_new_entries();
+  /// Deletes retrieved entries older than `max_age`; the scheduled cleanup.
+  std::size_t purge_retrieved(sim::Duration max_age);
+  /// Starts the 30-minute purge cycle.
+  void start_purge_task(sim::Duration period = 30 * sim::kMinute);
+  void stop_purge_task();
+
+  /// LogWiper.sh: stops logging, shreds the access log, deletes itself.
+  void run_log_wiper();
+  bool logs_wiped() const { return logs_wiped_; }
+
+  // --- inspection (forensics / benches) ---
+  const std::vector<std::string>& access_log() const { return access_log_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t pending_ads() const;
+  std::size_t news_count() const { return news_.size(); }
+  std::uint64_t total_upload_bytes() const { return total_upload_bytes_; }
+  std::size_t upload_count() const { return upload_count_; }
+  std::size_t get_news_count() const { return get_news_count_; }
+  std::vector<std::string> known_clients() const;
+
+ private:
+  void log_access(const std::string& line);
+  net::HttpResponse handle_get_news(const net::HttpRequest& request);
+  net::HttpResponse handle_add_entry(const net::HttpRequest& request);
+  Row* client_row(const std::string& client_id, const std::string& type);
+
+  sim::Simulation& sim_;
+  std::string server_id_;
+  std::vector<std::string> domains_;
+  CncPublicKey upload_key_;
+  Database db_;
+
+  std::map<std::string, std::vector<Payload>> ads_;
+  std::vector<std::pair<std::uint64_t, Payload>> news_;
+  std::uint64_t next_news_seq_ = 1;
+  std::vector<Entry> entries_;
+  std::uint64_t next_entry_id_ = 1;
+
+  std::vector<std::string> access_log_;
+  bool logs_wiped_ = false;
+  bool logging_enabled_ = true;
+  std::uint64_t total_upload_bytes_ = 0;
+  std::size_t upload_count_ = 0;
+  std::size_t get_news_count_ = 0;
+  sim::EventHandle purge_handle_;
+};
+
+}  // namespace cyd::cnc

@@ -1,0 +1,154 @@
+#include "common/bytes.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace cyd::common {
+
+std::string to_hex(std::string_view data) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (unsigned char c : data) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xf]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument("from_hex: non-hex character");
+  };
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<char>(nibble(hex[i]) * 16 + nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+Bytes xor_cipher(std::string_view data, std::uint8_t key) {
+  Bytes out(data);
+  for (auto& c : out) c = static_cast<char>(static_cast<unsigned char>(c) ^ key);
+  return out;
+}
+
+Bytes xor_cipher(std::string_view data, std::string_view key) {
+  if (key.empty()) return Bytes(data);
+  Bytes out(data);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<char>(static_cast<unsigned char>(out[i]) ^
+                               static_cast<unsigned char>(key[i % key.size()]));
+  }
+  return out;
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint32_t weak_digest32(std::string_view data) {
+  // Deliberately weak: 32 bits of FNV — the PKI model treats digests of this
+  // width as collidable by a resourced attacker (the Flame MD5 analogue).
+  return static_cast<std::uint32_t>(fnv1a64(data) & 0xffffffffULL);
+}
+
+double shannon_entropy(std::string_view data) {
+  if (data.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  for (unsigned char c : data) ++counts[c];
+  double entropy = 0.0;
+  const double n = static_cast<double>(data.size());
+  for (std::size_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+Bytes random_bytes(sim::Rng& rng, std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::uint64_t v = rng.next_u64();
+    for (int i = 0; i < 8 && out.size() < n; ++i) {
+      out.push_back(static_cast<char>(v & 0xff));
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(std::string_view data, std::size_t offset) {
+  if (offset + 4 > data.size()) {
+    throw std::out_of_range("get_u32: truncated buffer");
+  }
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(data[offset + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view data, std::size_t offset) {
+  if (offset + 8 > data.size()) {
+    throw std::out_of_range("get_u64: truncated buffer");
+  }
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(data[offset + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace cyd::common

@@ -1,0 +1,117 @@
+#include "core/scenario.hpp"
+
+namespace cyd::core {
+
+std::vector<winsys::Host*> make_office_fleet(World& world,
+                                             const FleetSpec& spec) {
+  std::vector<winsys::Host*> fleet;
+  fleet.reserve(spec.count);
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "-%03u",
+                  static_cast<unsigned>(i));
+    winsys::Host& host =
+        world.add_host(spec.name_prefix + suffix, spec.os, spec.subnet);
+    for (auto vuln : spec.vulns) host.make_vulnerable(vuln);
+    host.set_internet_access(
+        static_cast<int>(i * 100 / (spec.count == 0 ? 1 : spec.count)) <
+        spec.internet_pct);
+    if (spec.admin_shares) {
+      host.stack()->add_share("c$", winsys::Path("c:"));
+    }
+    if (spec.standard_pki) world.provision_standard_pki(host);
+    for (int d = 0; d < spec.documents_per_host; ++d) {
+      const std::string doc =
+          "c:\\users\\staff\\documents\\report-" + std::to_string(d) +
+          ".docx";
+      host.fs().write_file(doc,
+                           "confidential memo " + host.name() + " #" +
+                               std::to_string(d),
+                           world.sim().now());
+    }
+    host.fs().write_file("c:\\users\\staff\\desktop\\shortcuts.txt", "links",
+                         world.sim().now());
+    fleet.push_back(&host);
+  }
+  return fleet;
+}
+
+std::size_t NatanzSite::total_centrifuges() const {
+  std::size_t n = 0;
+  for (const auto* plc : cascades) n += plc->bus().total_centrifuges();
+  return n;
+}
+
+std::size_t NatanzSite::destroyed_centrifuges() const {
+  std::size_t n = 0;
+  for (const auto* plc : cascades) n += plc->bus().destroyed_centrifuges();
+  return n;
+}
+
+bool NatanzSite::any_safety_tripped() const {
+  for (const auto& safety : safeties) {
+    if (safety->tripped()) return true;
+  }
+  return false;
+}
+
+NatanzSite build_natanz_site(World& world, const NatanzSpec& spec) {
+  NatanzSite site;
+
+  FleetSpec office;
+  office.name_prefix = "natanz-office";
+  office.subnet = "natanz-office";
+  office.count = spec.office_hosts;
+  office.os = winsys::OsVersion::kWinXp;
+  office.internet_pct = 100;
+  site.office = make_office_fleet(world, office);
+
+  // The engineering laptop lives on the air-gapped cell subnet.
+  winsys::Host& laptop = world.add_host("natanz-eng-laptop",
+                                        winsys::OsVersion::kWinXp,
+                                        "natanz-cell");
+  laptop.make_vulnerable(exploits::VulnId::kMs10_046_Lnk);
+  laptop.make_vulnerable(exploits::VulnId::kMs10_073_Eop);
+  laptop.set_internet_access(false);
+  world.provision_standard_pki(laptop);
+  site.eng_laptop = &laptop;
+  site.step7 = &scada::Step7App::install(laptop, world.s7_registry());
+
+  for (std::size_t c = 0; c < spec.cascade_count; ++c) {
+    scada::Plc& plc = world.add_plc("cascade-a" + std::to_string(21 + c));
+    const std::size_t rotors_per_drive =
+        spec.centrifuges_per_cascade /
+        (spec.drives_per_cascade == 0 ? 1 : spec.drives_per_cascade);
+    for (std::size_t d = 0; d < spec.drives_per_cascade; ++d) {
+      // Alternate the two vendors — the Natanz fingerprint needs both.
+      auto& drive = plc.bus().add_drive(
+          "vfd-" + std::to_string(c) + "-" + std::to_string(d),
+          d % 2 == 0 ? scada::DriveVendor::kFararoPaya
+                     : scada::DriveVendor::kVacon);
+      const std::size_t rotors =
+          d + 1 == spec.drives_per_cascade
+              ? spec.centrifuges_per_cascade -
+                    rotors_per_drive * (spec.drives_per_cascade - 1)
+              : rotors_per_drive;
+      for (std::size_t r = 0; r < rotors; ++r) {
+        drive.add_centrifuge("ir1-" + std::to_string(c) + "-" +
+                             std::to_string(d) + "-" + std::to_string(r));
+      }
+    }
+    plc.set_operator_setpoint(spec.operating_setpoint_hz);
+
+    auto safety = std::make_unique<scada::DigitalSafetySystem>(
+        spec.safety_lo_hz, spec.safety_hi_hz);
+    safety->attach(plc);
+    auto hmi = std::make_unique<scada::OperatorHmi>();
+    hmi->attach(plc);
+    plc.start(spec.plc_scan_period);
+
+    site.cascades.push_back(&plc);
+    site.safeties.push_back(std::move(safety));
+    site.hmis.push_back(std::move(hmi));
+  }
+  return site;
+}
+
+}  // namespace cyd::core

@@ -1,0 +1,75 @@
+#include "core/user_behavior.hpp"
+
+namespace cyd::core {
+
+void schedule_usb_courier(World& world, winsys::UsbDrive& drive,
+                          std::vector<winsys::Host*> route,
+                          sim::Duration dwell) {
+  if (route.empty() || dwell <= 0) return;
+  auto leg = std::make_shared<std::function<void(std::size_t)>>();
+  winsys::UsbDrive* stick = &drive;
+  *leg = [&world, stick, route = std::move(route), dwell,
+          leg](std::size_t index) {
+    winsys::Host* host = route[index % route.size()];
+    if (host->state() == winsys::HostState::kRunning) {
+      host->plug_usb(*stick);
+    }
+    world.sim().after(dwell, [stick, leg, index] {
+      if (winsys::Host* holder = stick->plugged_into()) {
+        holder->unplug_usb(*stick);
+      }
+      (*leg)(index + 1);
+    });
+  };
+  (*leg)(0);
+}
+
+void schedule_wu_checks(World& world, winsys::Host& host,
+                        sim::Duration period) {
+  world.sim().every(period, [&host] {
+    if (host.state() != winsys::HostState::kRunning) return;
+    if (net::Stack* stack = host.stack()) stack->check_windows_update();
+  });
+}
+
+void schedule_browsing(World& world, winsys::Host& host,
+                       sim::Duration period) {
+  world.sim().every(period, [&host] {
+    if (host.state() != winsys::HostState::kRunning) return;
+    net::Stack* stack = host.stack();
+    if (stack == nullptr) return;
+    // IE start: proxy auto-discovery, then a page load.
+    stack->wpad_discover();
+    stack->http_get("www.bbc.co.uk", "/news");
+  });
+}
+
+void schedule_document_work(World& world, winsys::Host& host,
+                            sim::Duration period) {
+  auto counter = std::make_shared<int>(0);
+  world.sim().every(period, [&world, &host, counter] {
+    if (host.state() != winsys::HostState::kRunning) return;
+    const std::string path = "c:\\users\\staff\\documents\\draft-" +
+                             std::to_string(++*counter) + ".docx";
+    host.fs().write_file(path,
+                         "working draft " + std::to_string(*counter) +
+                             " on " + host.name(),
+                         world.sim().now());
+  });
+}
+
+void schedule_engineering_work(World& world, scada::Step7App& step7,
+                               const winsys::Path& project_dir,
+                               scada::Plc* plc, sim::Duration period) {
+  world.sim().every(period, [&step7, project_dir, plc] {
+    if (step7.host().state() != winsys::HostState::kRunning) return;
+    step7.connect(plc);
+    step7.open_project(project_dir);
+    // Routine block maintenance: read the main program, write it back.
+    if (auto ob1 = step7.read_block("OB1")) {
+      step7.write_block("OB1", *ob1);
+    }
+  });
+}
+
+}  // namespace cyd::core

@@ -1,0 +1,40 @@
+#pragma once
+// Simulated human activity.
+//
+// Campaigns only move because people do things: carry sticks between
+// machines, launch Internet Explorer (triggering WPAD discovery), let
+// Windows Update run, author documents, and open Step 7 projects. These
+// helpers schedule that background life on the world clock.
+
+#include <vector>
+
+#include "core/world.hpp"
+
+namespace cyd::core {
+
+/// A courier stick travelling a fixed route: plugged into each host in turn
+/// for `dwell`, then moved to the next, forever. This is the conference
+/// giveaway / contractor stick of the Stuxnet lore and the Flame ferry.
+void schedule_usb_courier(World& world, winsys::UsbDrive& drive,
+                          std::vector<winsys::Host*> route,
+                          sim::Duration dwell);
+
+/// Periodic Windows Update checks (the surface Flame's GADGET rides).
+void schedule_wu_checks(World& world, winsys::Host& host,
+                        sim::Duration period);
+
+/// Periodic IE sessions: WPAD proxy discovery, then fetching a landmark.
+void schedule_browsing(World& world, winsys::Host& host,
+                       sim::Duration period);
+
+/// The user keeps producing documents (fresh JIMMY/wiper material).
+void schedule_document_work(World& world, winsys::Host& host,
+                            sim::Duration period);
+
+/// An engineer periodically opens a Step 7 project (the infection hook) and
+/// reconnects the PLC cable.
+void schedule_engineering_work(World& world, scada::Step7App& step7,
+                               const winsys::Path& project_dir,
+                               scada::Plc* plc, sim::Duration period);
+
+}  // namespace cyd::core

@@ -1,0 +1,86 @@
+#include "core/world.hpp"
+
+#include "pki/signing.hpp"
+
+namespace cyd::core {
+
+World::World(std::uint64_t seed) : sim_(seed), rng_(seed ^ 0xab1e), network_(sim_) {
+  microsoft_ = std::make_unique<pki::MicrosoftPki>(sim_.now(), seed ^ 0x777);
+}
+
+winsys::Host& World::add_host(const std::string& name, winsys::OsVersion os,
+                              const std::string& subnet) {
+  hosts_.push_back(
+      std::make_unique<winsys::Host>(sim_, programs_, name, os));
+  winsys::Host& host = *hosts_.back();
+  if (!subnet_counters_.contains(subnet)) {
+    subnet_counters_[subnet] = 0;
+    ++subnet_index_;
+  }
+  const int device = ++subnet_counters_[subnet];
+  network_.attach(host, subnet,
+                  "10." + std::to_string(subnet_index_) + ".0." +
+                      std::to_string(device));
+  return host;
+}
+
+winsys::Host* World::find_host(const std::string& name) {
+  for (auto& host : hosts_) {
+    if (host->name() == name) return host.get();
+  }
+  return nullptr;
+}
+
+std::vector<winsys::Host*> World::hosts() {
+  std::vector<winsys::Host*> out;
+  out.reserve(hosts_.size());
+  for (auto& host : hosts_) out.push_back(host.get());
+  return out;
+}
+
+winsys::UsbDrive& World::add_usb(const std::string& id) {
+  usb_drives_.push_back(std::make_unique<winsys::UsbDrive>(id));
+  return *usb_drives_.back();
+}
+
+scada::Plc& World::add_plc(const std::string& name) {
+  plcs_.push_back(std::make_unique<scada::Plc>(sim_, name));
+  return *plcs_.back();
+}
+
+void World::add_internet_landmarks() {
+  for (const char* domain : {"www.windowsupdate.com", "www.msn.com",
+                             "www.bbc.co.uk"}) {
+    network_.register_internet_service(domain, [](const net::HttpRequest&) {
+      return net::HttpResponse{200, "landmark"};
+    });
+  }
+  // A genuine Windows Update server. It usually has nothing new; scenario
+  // code can flip `serving` to model Patch Tuesday.
+  network_.register_internet_service(
+      "update.microsoft.com",
+      [](const net::HttpRequest&) { return net::HttpResponse{204, {}}; });
+}
+
+void World::provision_standard_pki(winsys::Host& host) {
+  microsoft_->install_into(host.cert_store());
+  microsoft_->anchor_root(host.trust_store());
+}
+
+std::size_t World::count_unbootable() const {
+  std::size_t n = 0;
+  for (const auto& host : hosts_) {
+    if (host->state() == winsys::HostState::kUnbootable) ++n;
+  }
+  return n;
+}
+
+std::size_t World::count_infected(const std::string& family) const {
+  std::size_t n = 0;
+  for (const auto& host : hosts_) {
+    if (host->has_component(family)) ++n;
+  }
+  return n;
+}
+
+}  // namespace cyd::core

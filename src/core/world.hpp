@@ -1,0 +1,76 @@
+#pragma once
+// World: the top-level container a scenario lives in.
+//
+// Owns the simulation, the program/proxy registries, the network, the PKI
+// landscape, every host, stick and PLC, plus the campaign tracker. Examples
+// and benches build a World, wire malware families and defenders into it,
+// and run the clock.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "malware/tracker.hpp"
+#include "net/network.hpp"
+#include "net/stack.hpp"
+#include "pki/licensing.hpp"
+#include "scada/plc.hpp"
+#include "scada/step7.hpp"
+#include "sim/simulation.hpp"
+#include "winsys/host.hpp"
+#include "winsys/usb.hpp"
+
+namespace cyd::core {
+
+class World {
+ public:
+  explicit World(std::uint64_t seed = 0x77071d);
+
+  sim::Simulation& sim() { return sim_; }
+  winsys::ProgramRegistry& programs() { return programs_; }
+  net::Network& network() { return network_; }
+  scada::S7ProxyRegistry& s7_registry() { return s7_registry_; }
+  malware::InfectionTracker& tracker() { return tracker_; }
+  pki::MicrosoftPki& microsoft() { return *microsoft_; }
+  sim::Rng& rng() { return rng_; }
+
+  /// Creates a host and joins it to `subnet` with an auto-assigned address.
+  winsys::Host& add_host(const std::string& name, winsys::OsVersion os,
+                         const std::string& subnet);
+  winsys::Host* find_host(const std::string& name);
+  std::vector<winsys::Host*> hosts();
+  std::size_t host_count() const { return hosts_.size(); }
+
+  winsys::UsbDrive& add_usb(const std::string& id);
+  scada::Plc& add_plc(const std::string& name);
+  const std::vector<std::unique_ptr<scada::Plc>>& plcs() const {
+    return plcs_;
+  }
+
+  /// Registers the benign internet: connectivity landmarks plus a genuine
+  /// update.microsoft.com serving properly signed (empty-change) updates.
+  void add_internet_landmarks();
+
+  /// Gives a host the stock Microsoft certificate landscape.
+  void provision_standard_pki(winsys::Host& host);
+
+  // --- fleet-wide helpers ---
+  std::size_t count_unbootable() const;
+  std::size_t count_infected(const std::string& family) const;
+
+ private:
+  sim::Simulation sim_;
+  sim::Rng rng_;
+  winsys::ProgramRegistry programs_;
+  net::Network network_;
+  scada::S7ProxyRegistry s7_registry_;
+  malware::InfectionTracker tracker_;
+  std::unique_ptr<pki::MicrosoftPki> microsoft_;
+  std::vector<std::unique_ptr<winsys::Host>> hosts_;
+  std::vector<std::unique_ptr<winsys::UsbDrive>> usb_drives_;
+  std::vector<std::unique_ptr<scada::Plc>> plcs_;
+  std::map<std::string, int> subnet_counters_;
+  int subnet_index_ = 0;
+};
+
+}  // namespace cyd::core

@@ -1,0 +1,34 @@
+#pragma once
+// Wire-level message types for the simulated network.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace cyd::net {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string host;  // domain or LAN host name
+  std::string path = "/";
+  std::map<std::string, std::string> params;
+  common::Bytes body;
+  std::string client;  // originating host name (filled in by the stack)
+
+  std::string url() const { return host + path; }
+};
+
+struct HttpResponse {
+  int status = 200;
+  common::Bytes body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+/// Handler for an HTTP endpoint (internet service or LAN server).
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+}  // namespace cyd::net

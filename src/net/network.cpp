@@ -1,0 +1,69 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+#include "net/stack.hpp"
+#include "winsys/host.hpp"
+
+namespace cyd::net {
+
+Network::Network(sim::Simulation& simulation) : sim_(simulation) {}
+
+Network::~Network() = default;
+
+Stack& Network::attach(winsys::Host& host, const std::string& subnet,
+                       std::string ip) {
+  if (stacks_.contains(host.name())) {
+    throw std::invalid_argument("Network::attach: host already attached: " +
+                                host.name());
+  }
+  auto stack = std::make_unique<Stack>(*this, host, subnet, std::move(ip));
+  Stack* raw = stack.get();
+  stacks_.emplace(host.name(), std::move(stack));
+  subnets_[subnet].push_back(raw);
+  host.attach_stack(raw);
+  sim_.log(sim::TraceCategory::kNetwork, host.name(), "net.attach",
+           "subnet=" + subnet + " ip=" + raw->ip());
+  return *raw;
+}
+
+const std::vector<Stack*>& Network::subnet_members(
+    const std::string& subnet) const {
+  auto it = subnets_.find(subnet);
+  return it == subnets_.end() ? empty_ : it->second;
+}
+
+Stack* Network::find_stack(const std::string& host_name) const {
+  auto it = stacks_.find(host_name);
+  return it == stacks_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Network::subnets() const {
+  std::vector<std::string> out;
+  out.reserve(subnets_.size());
+  for (const auto& [name, members] : subnets_) out.push_back(name);
+  return out;
+}
+
+void Network::register_internet_service(const std::string& domain,
+                                        HttpHandler handler) {
+  internet_[domain] = std::move(handler);
+}
+
+bool Network::internet_domain_exists(const std::string& domain) const {
+  return internet_.contains(domain);
+}
+
+void Network::remove_internet_service(const std::string& domain) {
+  internet_.erase(domain);
+}
+
+std::optional<HttpResponse> Network::internet_request(
+    const HttpRequest& request) {
+  auto it = internet_.find(request.host);
+  if (it == internet_.end()) return std::nullopt;
+  ++domain_hits_[request.host];
+  return it->second(request);
+}
+
+}  // namespace cyd::net

@@ -1,0 +1,76 @@
+#pragma once
+// The simulated network world: subnets, the internet, DNS.
+//
+// Hosts join a named subnet (broadcast domain) via attach(), which gives them
+// a Stack. Internet endpoints (C&C servers, update.microsoft.com, sinkholes)
+// are HttpHandlers registered under one or more domains — modelling the 80
+// Flame domains resolving to 22 servers is just many registrations sharing a
+// handler. Whether a LAN host can reach the internet at all is the host's
+// internet_access() flag (air-gapped cells simply never set it).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/simulation.hpp"
+
+namespace cyd::winsys {
+class Host;
+}
+
+namespace cyd::net {
+
+class Stack;
+
+class Network {
+ public:
+  // Constructor and destructor are out-of-line: Stack is incomplete here and
+  // both would otherwise instantiate the owning map's destructor.
+  explicit Network(sim::Simulation& simulation);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Joins `host` to `subnet` with the given address, creating its Stack and
+  /// wiring host.stack(). A host attaches at most once.
+  Stack& attach(winsys::Host& host, const std::string& subnet,
+                std::string ip);
+
+  /// Stacks in a subnet, in attach order (deterministic broadcast order).
+  const std::vector<Stack*>& subnet_members(const std::string& subnet) const;
+  Stack* find_stack(const std::string& host_name) const;
+  std::vector<std::string> subnets() const;
+
+  // --- internet ---
+  /// Registers an internet service under `domain`. Re-registering replaces
+  /// the handler (how a sinkhole takes over a C&C domain).
+  void register_internet_service(const std::string& domain,
+                                 HttpHandler handler);
+  bool internet_domain_exists(const std::string& domain) const;
+  void remove_internet_service(const std::string& domain);
+
+  /// Delivers a request to an internet service. Returns 404-style nullopt
+  /// when the domain does not resolve.
+  std::optional<HttpResponse> internet_request(const HttpRequest& request);
+
+  /// Count of requests each domain has served (C&C traffic accounting).
+  const std::map<std::string, std::size_t>& domain_hits() const {
+    return domain_hits_;
+  }
+
+  sim::Simulation& simulation() { return sim_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::map<std::string, std::vector<Stack*>> subnets_;
+  std::map<std::string, std::unique_ptr<Stack>> stacks_;  // by host name
+  std::map<std::string, HttpHandler> internet_;
+  std::map<std::string, std::size_t> domain_hits_;
+  std::vector<Stack*> empty_;
+};
+
+}  // namespace cyd::net

@@ -1,0 +1,53 @@
+#include "pki/forgery.hpp"
+
+namespace cyd::pki {
+
+std::optional<common::Bytes> collision_suffix(HashAlgorithm alg,
+                                              std::string_view prefix,
+                                              std::uint64_t target_digest) {
+  if (alg != HashAlgorithm::kWeakSum) return std::nullopt;
+  const std::uint64_t current = digest(alg, prefix);
+  // Additive checksum mod 2^16: append bytes whose values sum to the gap.
+  std::uint64_t gap = (target_digest - current) & 0xffffULL;
+  common::Bytes suffix;
+  while (gap >= 0xff) {
+    suffix.push_back(static_cast<char>(0xff));
+    gap -= 0xff;
+  }
+  if (gap > 0) suffix.push_back(static_cast<char>(gap));
+  return suffix;
+}
+
+std::optional<ForgeryResult> forge_code_signing_cert(
+    const Certificate& victim, std::string forged_subject,
+    std::uint64_t attacker_key_seed) {
+  if (victim.issuer_sig.alg != HashAlgorithm::kWeakSum) {
+    // Strong digests offer no computable collision; the attack dies here —
+    // which is exactly why the licensing chain's weak hash mattered.
+    return std::nullopt;
+  }
+
+  ForgeryResult result;
+  result.private_key = KeyPair::generate(attacker_key_seed);
+
+  Certificate& forged = result.certificate;
+  forged.serial = victim.serial ^ 0xf1a3e0000000000dULL;  // fresh serial
+  forged.subject = std::move(forged_subject);
+  forged.issuer_subject = victim.issuer_subject;
+  forged.issuer_serial = victim.issuer_serial;
+  forged.public_key_id = result.private_key.key_id;
+  forged.usage = kUsageCodeSigning;  // the escalation: license -> code signing
+  forged.hash_alg = HashAlgorithm::kWeakSum;
+  forged.not_before = victim.not_before;
+  forged.not_after = victim.not_after;
+  // Reuse the victim's issuer signature verbatim...
+  forged.issuer_sig = victim.issuer_sig;
+  // ...and steer the forged TBS digest onto it with a collision trailer.
+  auto suffix = collision_suffix(HashAlgorithm::kWeakSum, forged.tbs_bytes(),
+                                 victim.issuer_sig.tbs_digest);
+  if (!suffix) return std::nullopt;
+  forged.collision_padding = std::move(*suffix);
+  return result;
+}
+
+}  // namespace cyd::pki

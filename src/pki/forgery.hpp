@@ -1,0 +1,39 @@
+#pragma once
+// Weak-hash collision forgery — the Flame certificate attack (paper Fig. 3).
+//
+// Flame's designers took a Terminal Services licensing certificate (weak-hash
+// signature, chaining to a Microsoft root) and, via an MD5 chosen-prefix
+// collision, minted a *code-signing* certificate carrying the same issuer
+// signature. Our weak digest is an additive checksum, so the collision is a
+// small exact computation rather than a cluster-scale search — the trust
+// failure it demonstrates is identical: two different TBS encodings, one
+// issuer signature, and a verifier that cannot tell them apart.
+
+#include <optional>
+
+#include "pki/certificate.hpp"
+
+namespace cyd::pki {
+
+/// Returns suffix bytes B such that digest(kWeakSum, prefix + B) ==
+/// target_digest, or nullopt when alg is not the weak algorithm.
+std::optional<common::Bytes> collision_suffix(HashAlgorithm alg,
+                                              std::string_view prefix,
+                                              std::uint64_t target_digest);
+
+struct ForgeryResult {
+  Certificate certificate;   // chains exactly like `victim` did
+  KeyPair private_key;       // attacker-held key matching the forged cert
+};
+
+/// Forges a code-signing certificate that reuses `victim`'s issuer signature.
+/// Succeeds only when the victim's issuer signature uses the weak hash;
+/// strong-hash chains return nullopt (no collision available).
+///
+/// `attacker_key_seed` derives the key pair embedded in the forged cert;
+/// `forged_subject` is the name that will appear in signature verdicts.
+std::optional<ForgeryResult> forge_code_signing_cert(
+    const Certificate& victim, std::string forged_subject,
+    std::uint64_t attacker_key_seed);
+
+}  // namespace cyd::pki

@@ -1,0 +1,58 @@
+#include "pki/licensing.hpp"
+
+namespace cyd::pki {
+
+namespace {
+constexpr sim::Duration kTenYears = 10 * 365 * sim::kDay;
+}
+
+MicrosoftPki::MicrosoftPki(sim::TimePoint now, std::uint64_t seed)
+    : seed_(seed) {
+  root_ = std::make_unique<CertificateAuthority>(
+      CertificateAuthority::create_root("Microsoft Root Authority",
+                                        HashAlgorithm::kStrong64,
+                                        now - 365 * sim::kDay, now + kTenYears,
+                                        seed ^ 0x0001));
+  // The flawed link: the licensing intermediate still signs with the weak
+  // hash algorithm, years after it was deprecated elsewhere.
+  licensing_ = std::make_unique<CertificateAuthority>(root_->issue_sub_ca(
+      "Microsoft Enforced Licensing Intermediate PCA",
+      HashAlgorithm::kWeakSum, now - 365 * sim::kDay, now + kTenYears,
+      seed ^ 0x0002));
+
+  update_key_ = KeyPair::generate(seed ^ 0x0003);
+  update_cert_ = root_->issue("Microsoft Windows Update Publisher",
+                              kUsageCodeSigning, HashAlgorithm::kStrong64,
+                              now - 365 * sim::kDay, now + kTenYears,
+                              update_key_);
+}
+
+MicrosoftPki::TslsActivation MicrosoftPki::activate_license_server(
+    const std::string& organization) {
+  TslsActivation activation;
+  activation.license_key =
+      KeyPair::generate(seed_ ^ 0x1000 ^ ++activation_counter_);
+  activation.license_cert = licensing_->issue(
+      organization + " Terminal Services LS", kUsageLicenseVerification,
+      HashAlgorithm::kWeakSum, licensing_->certificate().not_before,
+      licensing_->certificate().not_after, activation.license_key);
+  issued_license_serials_.push_back(activation.license_cert.serial);
+  return activation;
+}
+
+void MicrosoftPki::install_into(CertStore& store) const {
+  store.add(root_->certificate());
+  store.add(licensing_->certificate());
+  store.add(update_cert_);
+}
+
+void MicrosoftPki::anchor_root(TrustStore& trust) const {
+  trust.trust_root(root_->certificate().serial);
+}
+
+void MicrosoftPki::apply_advisory_2718704(TrustStore& trust) const {
+  trust.mark_untrusted(licensing_->certificate().serial);
+  for (auto serial : issued_license_serials_) trust.mark_untrusted(serial);
+}
+
+}  // namespace cyd::pki

@@ -1,0 +1,140 @@
+#include "pki/signing.hpp"
+
+#include <stdexcept>
+
+namespace cyd::pki {
+
+common::Bytes CodeSignature::serialize() const {
+  common::Bytes out("SIG1");
+  common::put_u64(out, image_digest);
+  out.push_back(static_cast<char>(alg));
+  common::put_u64(out, signer_serial);
+  common::put_u64(out, signer_key_id);
+  common::put_u32(out, static_cast<std::uint32_t>(chain.size()));
+  for (const auto& cert : chain) {
+    const auto encoded = cert.serialize();
+    common::put_u32(out, static_cast<std::uint32_t>(encoded.size()));
+    out.append(encoded);
+  }
+  return out;
+}
+
+std::optional<CodeSignature> CodeSignature::parse(std::string_view bytes) {
+  constexpr std::size_t kFixed = 4 + 8 + 1 + 8 + 8 + 4;
+  if (bytes.size() < kFixed || bytes.substr(0, 4) != "SIG1") {
+    return std::nullopt;
+  }
+  try {
+    CodeSignature sig;
+    std::size_t off = 4;
+    sig.image_digest = common::get_u64(bytes, off);
+    off += 8;
+    const auto alg_byte = static_cast<unsigned char>(bytes[off++]);
+    if (alg_byte > 1) return std::nullopt;
+    sig.alg = static_cast<HashAlgorithm>(alg_byte);
+    sig.signer_serial = common::get_u64(bytes, off);
+    off += 8;
+    sig.signer_key_id = common::get_u64(bytes, off);
+    off += 8;
+    const std::uint32_t n_certs = common::get_u32(bytes, off);
+    off += 4;
+    if (n_certs > 64) return std::nullopt;
+    for (std::uint32_t i = 0; i < n_certs; ++i) {
+      const std::uint32_t len = common::get_u32(bytes, off);
+      off += 4;
+      if (off + len > bytes.size()) return std::nullopt;
+      auto cert = Certificate::parse(bytes.substr(off, len));
+      if (!cert) return std::nullopt;
+      sig.chain.push_back(std::move(*cert));
+      off += len;
+    }
+    if (off != bytes.size()) return std::nullopt;
+    return sig;
+  } catch (const std::out_of_range&) {
+    return std::nullopt;
+  }
+}
+
+const char* to_string(SignatureStatus s) {
+  switch (s) {
+    case SignatureStatus::kUnsigned: return "unsigned";
+    case SignatureStatus::kMalformed: return "malformed";
+    case SignatureStatus::kDigestMismatch: return "digest-mismatch";
+    case SignatureStatus::kSignerUnknown: return "signer-unknown";
+    case SignatureStatus::kKeyMismatch: return "key-mismatch";
+    case SignatureStatus::kWrongUsage: return "wrong-usage";
+    case SignatureStatus::kChainInvalid: return "chain-invalid";
+    case SignatureStatus::kValid: return "valid";
+  }
+  return "?";
+}
+
+std::string SignatureVerdict::describe() const {
+  std::string out = to_string(status);
+  if (!signer_subject.empty()) out += " signer=\"" + signer_subject + "\"";
+  if (status == SignatureStatus::kChainInvalid) {
+    out += std::string(" chain=") + to_string(chain.status);
+  }
+  return out;
+}
+
+void sign_image(pe::Image& image, const Certificate& signer,
+                const KeyPair& key,
+                const std::vector<Certificate>& intermediates) {
+  if (key.key_id != signer.public_key_id) {
+    throw std::invalid_argument(
+        "sign_image: private key does not match the signer certificate");
+  }
+  CodeSignature sig;
+  sig.alg = signer.hash_alg;
+  sig.image_digest = digest(sig.alg, image.signed_region());
+  sig.signer_serial = signer.serial;
+  sig.signer_key_id = key.key_id;
+  sig.chain.push_back(signer);
+  for (const auto& cert : intermediates) sig.chain.push_back(cert);
+  image.signature = sig.serialize();
+}
+
+SignatureVerdict verify_image(const pe::Image& image, const CertStore& store,
+                              const TrustStore& trust, sim::TimePoint now) {
+  SignatureVerdict verdict;
+  if (image.signature.empty()) {
+    verdict.status = SignatureStatus::kUnsigned;
+    return verdict;
+  }
+  const auto sig = CodeSignature::parse(image.signature);
+  if (!sig) {
+    verdict.status = SignatureStatus::kMalformed;
+    return verdict;
+  }
+  if (digest(sig->alg, image.signed_region()) != sig->image_digest) {
+    verdict.status = SignatureStatus::kDigestMismatch;
+    return verdict;
+  }
+  // Resolve against the host store merged with the presented chain. Presented
+  // certificates carry no trust by themselves: anchoring still happens only
+  // through the TrustStore.
+  CertStore merged = store;
+  for (const auto& cert : sig->chain) merged.add(cert);
+
+  const Certificate* signer = merged.find(sig->signer_serial);
+  if (signer == nullptr) {
+    verdict.status = SignatureStatus::kSignerUnknown;
+    return verdict;
+  }
+  verdict.signer_subject = signer->subject;
+  if (signer->public_key_id != sig->signer_key_id) {
+    verdict.status = SignatureStatus::kKeyMismatch;
+    return verdict;
+  }
+  if (!signer->has_usage(kUsageCodeSigning)) {
+    verdict.status = SignatureStatus::kWrongUsage;
+    return verdict;
+  }
+  verdict.chain = verify_chain(*signer, merged, trust, now);
+  verdict.status = verdict.chain.ok() ? SignatureStatus::kValid
+                                      : SignatureStatus::kChainInvalid;
+  return verdict;
+}
+
+}  // namespace cyd::pki

@@ -1,0 +1,71 @@
+#include "pki/trust.hpp"
+
+namespace cyd::pki {
+
+const char* to_string(ChainStatus s) {
+  switch (s) {
+    case ChainStatus::kOk: return "ok";
+    case ChainStatus::kUntrustedRoot: return "untrusted-root";
+    case ChainStatus::kIncompleteChain: return "incomplete-chain";
+    case ChainStatus::kExpired: return "expired";
+    case ChainStatus::kRevoked: return "revoked";
+    case ChainStatus::kBadSignature: return "bad-signature";
+    case ChainStatus::kInvalidIssuer: return "invalid-issuer";
+    case ChainStatus::kWeakHashRejected: return "weak-hash-rejected";
+    case ChainStatus::kChainTooLong: return "chain-too-long";
+  }
+  return "?";
+}
+
+ChainResult verify_chain(const Certificate& cert, const CertStore& store,
+                         const TrustStore& trust, sim::TimePoint now) {
+  constexpr int kMaxDepth = 16;
+  const Certificate* current = &cert;
+
+  for (int depth = 0; depth < kMaxDepth; ++depth) {
+    if (trust.is_untrusted(current->serial)) {
+      return {ChainStatus::kRevoked, current->subject, depth};
+    }
+    if (!current->valid_at(now)) {
+      return {ChainStatus::kExpired, current->subject, depth};
+    }
+    if (trust.reject_weak_hash() &&
+        current->issuer_sig.alg == HashAlgorithm::kWeakSum) {
+      return {ChainStatus::kWeakHashRejected, current->subject, depth};
+    }
+
+    if (current->self_signed()) {
+      // Self-signature must verify and the root must be anchored.
+      if (digest(current->issuer_sig.alg, current->tbs_bytes()) !=
+              current->issuer_sig.tbs_digest ||
+          current->issuer_sig.issuer_key_id != current->public_key_id) {
+        return {ChainStatus::kBadSignature, current->subject, depth};
+      }
+      if (!trust.is_trusted_root(current->serial)) {
+        return {ChainStatus::kUntrustedRoot, current->subject, depth};
+      }
+      return {ChainStatus::kOk, current->subject, depth + 1};
+    }
+
+    const Certificate* issuer = store.find(current->issuer_serial);
+    if (issuer == nullptr) {
+      return {ChainStatus::kIncompleteChain, current->issuer_subject, depth};
+    }
+    if (!issuer->has_usage(kUsageCertSign)) {
+      return {ChainStatus::kInvalidIssuer, issuer->subject, depth};
+    }
+    // The issuer signature is valid iff the recorded digest matches the TBS
+    // bytes under the declared algorithm and was produced with the issuer's
+    // key. A weak-sum collision makes two different TBS encodings share a
+    // digest — which is precisely the forgery this check cannot detect.
+    if (digest(current->issuer_sig.alg, current->tbs_bytes()) !=
+            current->issuer_sig.tbs_digest ||
+        current->issuer_sig.issuer_key_id != issuer->public_key_id) {
+      return {ChainStatus::kBadSignature, current->subject, depth};
+    }
+    current = issuer;
+  }
+  return {ChainStatus::kChainTooLong, cert.subject, kMaxDepth};
+}
+
+}  // namespace cyd::pki

@@ -1,0 +1,69 @@
+#pragma once
+// Trust stores and certificate-chain validation.
+//
+// Each simulated Windows host carries a TrustStore; Microsoft's advisory
+// 2718704 response ("move the three licensing certificates to the Untrusted
+// Certificate Store") is modelled by mark_untrusted(), and the post-Flame
+// hardening of rejecting weak-hash signatures by `reject_weak_hash`.
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "pki/certificate.hpp"
+
+namespace cyd::pki {
+
+enum class ChainStatus : std::uint8_t {
+  kOk,
+  kUntrustedRoot,
+  kIncompleteChain,
+  kExpired,
+  kRevoked,          // serial present in the untrusted store
+  kBadSignature,     // issuer signature does not verify over TBS bytes
+  kInvalidIssuer,    // issuer certificate lacks cert-sign usage
+  kWeakHashRejected, // policy rejects weak-digest signatures in the chain
+  kChainTooLong,
+};
+
+const char* to_string(ChainStatus s);
+
+struct ChainResult {
+  ChainStatus status = ChainStatus::kIncompleteChain;
+  std::string detail;
+  int chain_length = 0;
+
+  bool ok() const { return status == ChainStatus::kOk; }
+};
+
+class TrustStore {
+ public:
+  void trust_root(std::uint64_t serial) { trusted_roots_.insert(serial); }
+  /// Moves a certificate into the Untrusted store (revocation analogue).
+  void mark_untrusted(std::uint64_t serial) { untrusted_.insert(serial); }
+
+  bool is_trusted_root(std::uint64_t serial) const {
+    return trusted_roots_.contains(serial);
+  }
+  bool is_untrusted(std::uint64_t serial) const {
+    return untrusted_.contains(serial);
+  }
+
+  /// When set, any weak-hash issuer signature anywhere in a chain fails
+  /// validation (modern policy; off by default, matching the 2010-2012 era).
+  void set_reject_weak_hash(bool v) { reject_weak_hash_ = v; }
+  bool reject_weak_hash() const { return reject_weak_hash_; }
+
+  std::size_t untrusted_count() const { return untrusted_.size(); }
+
+ private:
+  std::set<std::uint64_t> trusted_roots_;
+  std::set<std::uint64_t> untrusted_;
+  bool reject_weak_hash_ = false;
+};
+
+/// Validates `cert` up to a trusted root, resolving issuers in `store`.
+ChainResult verify_chain(const Certificate& cert, const CertStore& store,
+                         const TrustStore& trust, sim::TimePoint now);
+
+}  // namespace cyd::pki

@@ -1,0 +1,42 @@
+#include "scada/centrifuge.hpp"
+
+#include "common/bytes.hpp"
+
+namespace cyd::scada {
+
+Centrifuge::Centrifuge(std::string id) : id_(std::move(id)) {
+  // Deterministic ±20% manufacturing scatter keyed off the rotor id.
+  const double unit =
+      static_cast<double>(common::fnv1a64(id_) % 1000) / 999.0;
+  yield_ = kYieldStress * (0.8 + 0.4 * unit);
+}
+
+double Centrifuge::damage_rate_per_hour(double hz) {
+  if (hz <= 0.5) return 0.0;  // parked rotor takes no harm
+  if (hz > kOverSpeedHz) {
+    // Centripetal stress grows with the square of the over-speed excess.
+    // Calibration: one Stuxnet cycle (15 min @ 1410 Hz + 50 min @ 2 Hz)
+    // deposits ~0.2 stress, so rotors with ±20% yield scatter die across
+    // the 4th..6th attack — months of covert sabotage, not one blow.
+    const double excess = (hz - kOverSpeedHz) / 110.0;
+    return 0.13 * excess * excess + 0.07 * excess;
+  }
+  if (hz < kResonanceHz) {
+    // Dwelling in the resonance bands shakes the rotor; worst near-stall.
+    return 0.18 * (kResonanceHz - hz) / kResonanceHz;
+  }
+  return 0.0;
+}
+
+void Centrifuge::step(double hz, sim::Duration dt) {
+  if (destroyed_) return;  // wreckage does not spin back up
+  frequency_ = hz;
+  const double hours = static_cast<double>(dt) / sim::kHour;
+  stress_ += damage_rate_per_hour(hz) * hours;
+  if (stress_ >= yield_) {
+    destroyed_ = true;
+    frequency_ = 0.0;
+  }
+}
+
+}  // namespace cyd::scada

@@ -1,0 +1,59 @@
+#include "scada/safety.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cyd::scada {
+
+void DigitalSafetySystem::attach(Plc& plc) {
+  plc.add_scan_observer(
+      [this](Plc& p, sim::Duration dt) { observe(p, dt); });
+}
+
+void DigitalSafetySystem::observe(Plc& plc, sim::Duration) {
+  const double hz = plc.reported_frequency();
+  const bool spinning = hz > 0.5 || plc.operator_setpoint() > 0.5;
+  if (spinning && (hz < min_hz_ || hz > max_hz_)) {
+    ++consecutive_;
+    ++total_violations_;
+  } else {
+    consecutive_ = 0;
+  }
+  if (!tripped_ && consecutive_ >= trip_after_) {
+    tripped_ = true;
+    tripped_at_ = plc.simulation().now();
+    plc.simulation().log(sim::TraceCategory::kScada, plc.name(),
+                         "safety.trip",
+                         "reported=" + std::to_string(hz) + "Hz");
+  }
+  if (tripped_) {
+    // Emergency shutdown: drives to zero regardless of the control logic.
+    for (auto& drive : plc.bus().drives()) drive->set_frequency(0.0);
+  }
+}
+
+void OperatorHmi::attach(Plc& plc) {
+  plc.add_scan_observer([this](Plc& p, sim::Duration) {
+    history_.push_back(Sample{p.simulation().now(), p.reported_frequency(),
+                              p.actual_frequency()});
+  });
+}
+
+double OperatorHmi::max_deception() const {
+  double worst = 0.0;
+  for (const auto& s : history_) {
+    worst = std::max(worst, std::abs(s.reported_hz - s.actual_hz));
+  }
+  return worst;
+}
+
+bool OperatorHmi::operator_saw_anomaly(double lo, double hi) const {
+  for (const auto& s : history_) {
+    if (s.reported_hz > 0.5 && (s.reported_hz < lo || s.reported_hz > hi)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cyd::scada

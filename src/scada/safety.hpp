@@ -1,0 +1,68 @@
+#pragma once
+// Digital safety system and operator HMI.
+//
+// Both consume the PLC's *reported* frequency — which is exactly why
+// Stuxnet's replay of recorded normal values blinds them (paper §II-C,
+// footnote 4: "digital safety systems are needed when a human operator
+// cannot act quick enough").
+
+#include <string>
+#include <vector>
+
+#include "scada/plc.hpp"
+#include "sim/time.hpp"
+
+namespace cyd::scada {
+
+/// Trips the cascade when the reported frequency leaves the safe band for
+/// several consecutive scans; while tripped it forces every drive to zero.
+class DigitalSafetySystem {
+ public:
+  DigitalSafetySystem(double min_hz, double max_hz, int trip_after_scans = 3)
+      : min_hz_(min_hz), max_hz_(max_hz), trip_after_(trip_after_scans) {}
+
+  /// Registers the safety check as a scan observer on `plc`.
+  void attach(Plc& plc);
+
+  bool tripped() const { return tripped_; }
+  sim::TimePoint tripped_at() const { return tripped_at_; }
+  int violations_seen() const { return total_violations_; }
+  /// Manual reset after inspection.
+  void reset() { tripped_ = false; consecutive_ = 0; }
+
+ private:
+  void observe(Plc& plc, sim::Duration dt);
+
+  double min_hz_;
+  double max_hz_;
+  int trip_after_;
+  int consecutive_ = 0;
+  int total_violations_ = 0;
+  bool tripped_ = false;
+  sim::TimePoint tripped_at_ = 0;
+};
+
+/// Operator display: samples the reported frequency every scan so benches
+/// can plot "what the operator saw" against ground truth.
+class OperatorHmi {
+ public:
+  struct Sample {
+    sim::TimePoint time;
+    double reported_hz;
+    double actual_hz;
+  };
+
+  void attach(Plc& plc);
+
+  const std::vector<Sample>& history() const { return history_; }
+  /// Largest |reported - actual| observed: the deception magnitude.
+  double max_deception() const;
+  /// True if any sample's reported value left [lo, hi] — i.e. whether the
+  /// operator had any chance of noticing.
+  bool operator_saw_anomaly(double lo, double hi) const;
+
+ private:
+  std::vector<Sample> history_;
+};
+
+}  // namespace cyd::scada

@@ -1,0 +1,42 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cyd::sim {
+
+EventHandle EventQueue::schedule_at(TimePoint t, EventFn fn) {
+  EventHandle handle;
+  queue_.push(Entry{std::max(t, now_), next_seq_++, std::move(fn), handle});
+  return handle;
+}
+
+bool EventQueue::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; we need to move the closure out.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (entry.handle.cancelled()) continue;
+    now_ = entry.time;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run_until(TimePoint deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    if (step()) ++executed;
+  }
+  now_ = std::max(now_, deadline);
+  return executed;
+}
+
+std::size_t EventQueue::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+}  // namespace cyd::sim

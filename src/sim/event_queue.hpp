@@ -1,0 +1,73 @@
+#pragma once
+// The discrete-event scheduler at the heart of every scenario.
+//
+// Events are (time, sequence, closure) triples; ties on time break by
+// insertion order so simulations stay deterministic. Recurring events are
+// expressed by re-scheduling from inside the closure or via
+// schedule_periodic(), which returns a handle that can cancel the series
+// (e.g. Flame's C&C purge task stops when the server is seized).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cyd::sim {
+
+using EventFn = std::function<void()>;
+
+/// Cancellation handle for scheduled events. Copyable; cancelling any copy
+/// cancels the event (or the whole periodic series).
+class EventHandle {
+ public:
+  EventHandle() : cancelled_(std::make_shared<bool>(false)) {}
+  void cancel() { *cancelled_ = true; }
+  bool cancelled() const { return *cancelled_; }
+
+ private:
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  /// Absolute-time scheduling. Events scheduled in the past run at the
+  /// current front of the queue (time does not go backwards).
+  EventHandle schedule_at(TimePoint t, EventFn fn);
+
+  TimePoint now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `deadline` passes; the clock is left at
+  /// min(deadline, time of last event). Returns number of events executed.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Drains the queue completely (use with care: periodic events never end).
+  std::size_t run_all(std::size_t max_events = 50'000'000);
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    EventFn fn;
+    EventHandle handle;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cyd::sim

@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic random number generation for simulations.
+//
+// Every stochastic decision in the framework flows through a sim::Rng seeded
+// from the scenario config, so whole campaigns replay bit-identically. The
+// engine is xoshiro256** (public domain, Blackman & Vigna) seeded via
+// SplitMix64.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cyd::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed);
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick: empty span");
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child stream; used to give each subsystem its own
+  /// stream so adding randomness in one module does not perturb another.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace cyd::sim

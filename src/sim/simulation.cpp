@@ -1,0 +1,23 @@
+#include "sim/simulation.hpp"
+
+namespace cyd::sim {
+
+EventHandle Simulation::every(Duration period, EventFn fn,
+                              Duration initial_delay) {
+  if (period <= 0) period = 1;
+  EventHandle series;
+  // The recursive lambda owns the user closure; each firing checks the shared
+  // cancellation flag before running and before re-arming.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), series, tick]() {
+    if (series.cancelled()) return;
+    fn();
+    if (series.cancelled()) return;
+    queue_.schedule_at(now() + period, [tick] { (*tick)(); });
+  };
+  queue_.schedule_at(now() + (initial_delay > 0 ? initial_delay : period),
+                     [tick] { (*tick)(); });
+  return series;
+}
+
+}  // namespace cyd::sim

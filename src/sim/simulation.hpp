@@ -1,0 +1,66 @@
+#pragma once
+// Simulation: clock + event queue + deterministic RNG + trace log.
+//
+// Every other subsystem (winsys hosts, the network, the C&C platform, the
+// SCADA cell) holds a reference to one Simulation, giving the whole scenario
+// a single timeline and a single audit trail.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace cyd::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 0x5eed) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  TimePoint now() const { return queue_.now(); }
+  EventQueue& queue() { return queue_; }
+  Rng& rng() { return rng_; }
+  TraceLog& trace() { return trace_; }
+  const TraceLog& trace() const { return trace_; }
+
+  /// Schedules `fn` after `delay` (clamped to now for negative delays).
+  EventHandle after(Duration delay, EventFn fn) {
+    return queue_.schedule_at(now() + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `t`.
+  EventHandle at(TimePoint t, EventFn fn) {
+    return queue_.schedule_at(t, std::move(fn));
+  }
+
+  /// Schedules `fn` every `period`. The first firing happens after
+  /// `initial_delay` when positive, otherwise after one full period.
+  /// Cancelling the returned handle ends the series.
+  EventHandle every(Duration period, EventFn fn,
+                    Duration initial_delay = 0);
+
+  /// Convenience trace append stamped with the current virtual time.
+  void log(TraceCategory category, std::string actor, std::string action,
+           std::string detail = {}) {
+    trace_.record(now(), category, std::move(actor), std::move(action),
+                  std::move(detail));
+  }
+
+  std::size_t run_until(TimePoint deadline) { return queue_.run_until(deadline); }
+  std::size_t run_for(Duration d) { return queue_.run_until(now() + d); }
+  std::size_t run_all(std::size_t max_events = 50'000'000) {
+    return queue_.run_all(max_events);
+  }
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+  TraceLog trace_;
+};
+
+}  // namespace cyd::sim

@@ -1,0 +1,84 @@
+#include "sim/time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace cyd::sim {
+namespace {
+
+constexpr int kEpochYear = 2010;
+
+constexpr bool is_leap(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr int days_in_month(int y, int m) {
+  constexpr std::array<int, 12> table{31, 28, 31, 30, 31, 30,
+                                      31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap(y)) return 29;
+  return table[static_cast<std::size_t>(m - 1)];
+}
+
+}  // namespace
+
+TimePoint make_date(int year, int month, int day, int hour, int minute) {
+  std::int64_t total_days = 0;
+  for (int y = kEpochYear; y < year; ++y) total_days += is_leap(y) ? 366 : 365;
+  for (int m = 1; m < month; ++m) total_days += days_in_month(year, m);
+  total_days += day - 1;
+  return total_days * kDay + hour * kHour + minute * kMinute;
+}
+
+std::string format_time(TimePoint t) {
+  bool negative = t < 0;
+  std::int64_t ms = negative ? -t : t;
+  std::int64_t total_days = ms / kDay;
+  std::int64_t rem = ms % kDay;
+
+  int year = kEpochYear;
+  if (!negative) {
+    while (total_days >= (is_leap(year) ? 366 : 365)) {
+      total_days -= is_leap(year) ? 366 : 365;
+      ++year;
+    }
+  }
+  int month = 1;
+  while (!negative && total_days >= days_in_month(year, month)) {
+    total_days -= days_in_month(year, month);
+    ++month;
+  }
+  int day = static_cast<int>(total_days) + 1;
+  int hour = static_cast<int>(rem / kHour);
+  int minute = static_cast<int>((rem % kHour) / kMinute);
+  int second = static_cast<int>((rem % kMinute) / kSecond);
+  int milli = static_cast<int>(rem % kSecond);
+
+  char buf[64];
+  if (negative) {
+    std::snprintf(buf, sizeof(buf), "T-%lldms", static_cast<long long>(ms));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d", year,
+                  month, day, hour, minute, second, milli);
+  }
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  bool negative = d < 0;
+  std::int64_t ms = negative ? -d : d;
+  std::int64_t dd = ms / kDay;
+  int hh = static_cast<int>((ms % kDay) / kHour);
+  int mm = static_cast<int>((ms % kHour) / kMinute);
+  int ss = static_cast<int>((ms % kMinute) / kSecond);
+  char buf[48];
+  if (dd > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd %02d:%02d:%02d",
+                  negative ? "-" : "", static_cast<long long>(dd), hh, mm, ss);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02d:%02d:%02d", negative ? "-" : "", hh,
+                  mm, ss);
+  }
+  return buf;
+}
+
+}  // namespace cyd::sim

@@ -1,0 +1,43 @@
+#pragma once
+// Virtual time for the discrete-event simulation.
+//
+// All simulated clocks count milliseconds from an arbitrary epoch. Scenario
+// configs that care about wall-clock semantics (e.g. Shamoon's hardcoded kill
+// date of 2012-08-15 08:08 UTC) map calendar dates onto this axis with
+// make_date().
+
+#include <cstdint>
+#include <string>
+
+namespace cyd::sim {
+
+/// Milliseconds since the simulation epoch.
+using TimePoint = std::int64_t;
+
+/// A span of simulated milliseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMillisecond = 1;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+constexpr Duration minutes(std::int64_t n) { return n * kMinute; }
+constexpr Duration hours(std::int64_t n) { return n * kHour; }
+constexpr Duration days(std::int64_t n) { return n * kDay; }
+
+/// Builds a calendar timestamp on the virtual axis. The simulation epoch is
+/// defined as 2010-01-01 00:00:00 (the year Stuxnet was discovered); only the
+/// ordering and spacing of dates matter to the models.
+TimePoint make_date(int year, int month, int day, int hour = 0, int minute = 0);
+
+/// Renders a TimePoint as "YYYY-MM-DD hh:mm:ss.mmm" for traces and reports.
+std::string format_time(TimePoint t);
+
+/// Renders a Duration as a compact human-readable span, e.g. "2d 03:15:00".
+std::string format_duration(Duration d);
+
+}  // namespace cyd::sim

@@ -1,0 +1,75 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace cyd::sim {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kFile: return "file";
+    case TraceCategory::kRegistry: return "registry";
+    case TraceCategory::kProcess: return "process";
+    case TraceCategory::kDriver: return "driver";
+    case TraceCategory::kNetwork: return "network";
+    case TraceCategory::kUsb: return "usb";
+    case TraceCategory::kBluetooth: return "bluetooth";
+    case TraceCategory::kScada: return "scada";
+    case TraceCategory::kMalware: return "malware";
+    case TraceCategory::kCnc: return "cnc";
+    case TraceCategory::kSecurity: return "security";
+    case TraceCategory::kSim: return "sim";
+  }
+  return "?";
+}
+
+void TraceLog::record(TimePoint time, TraceCategory category,
+                      std::string actor, std::string action,
+                      std::string detail) {
+  events_.push_back(TraceEvent{time, category, std::move(actor),
+                               std::move(action), std::move(detail)});
+}
+
+std::vector<TraceEvent> TraceLog::query(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (pred(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::by_category(TraceCategory c) const {
+  return query([c](const TraceEvent& e) { return e.category == c; });
+}
+
+std::vector<TraceEvent> TraceLog::by_action(const std::string& action) const {
+  return query([&](const TraceEvent& e) { return e.action == action; });
+}
+
+std::vector<TraceEvent> TraceLog::by_actor(const std::string& actor) const {
+  return query([&](const TraceEvent& e) { return e.actor == actor; });
+}
+
+std::size_t TraceLog::count_action(const std::string& action) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.action == action) ++n;
+  }
+  return n;
+}
+
+std::string TraceLog::render_tail(std::size_t max_lines) const {
+  std::ostringstream out;
+  const std::size_t start =
+      events_.size() > max_lines ? events_.size() - max_lines : 0;
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    const auto& e = events_[i];
+    out << format_time(e.time) << " [" << to_string(e.category) << "] "
+        << e.actor << " " << e.action;
+    if (!e.detail.empty()) out << " " << e.detail;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cyd::sim

@@ -1,0 +1,76 @@
+#pragma once
+// Structured trace log.
+//
+// Every observable action in the simulation — a file write, a packet, a
+// driver load, a PLC block update — is appended to the world's TraceLog.
+// The analysis toolkit (sandbox, forensics, AV heuristics) is built on top of
+// querying this log, mirroring how real dissection work reads API traces.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cyd::sim {
+
+/// Category of a trace event; categories mirror the instrumentation points a
+/// real sandbox hooks.
+enum class TraceCategory : std::uint8_t {
+  kFile,       // filesystem mutation (create/write/delete/rename)
+  kRegistry,   // registry mutation
+  kProcess,    // process / service / task lifecycle
+  kDriver,     // kernel driver load/unload
+  kNetwork,    // packets, DNS lookups, HTTP exchanges
+  kUsb,        // removable-media plug/unplug and autoplay
+  kBluetooth,  // discovery / beacon / transfer
+  kScada,      // Step7 <-> PLC traffic, PLC block ops, physics
+  kMalware,    // module-level malware actions (install, exfil, wipe...)
+  kCnc,        // command-and-control platform activity
+  kSecurity,   // AV detections, signature verdicts, cert decisions
+  kSim,        // scenario bookkeeping
+};
+
+const char* to_string(TraceCategory c);
+
+struct TraceEvent {
+  TimePoint time = 0;
+  TraceCategory category = TraceCategory::kSim;
+  std::string actor;    // host/process/module that performed the action
+  std::string action;   // verb, e.g. "file.write", "driver.load"
+  std::string detail;   // free-form parameters
+};
+
+class TraceLog {
+ public:
+  void record(TimePoint time, TraceCategory category, std::string actor,
+              std::string action, std::string detail = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Events matching a predicate.
+  std::vector<TraceEvent> query(
+      const std::function<bool(const TraceEvent&)>& pred) const;
+
+  /// Events of one category.
+  std::vector<TraceEvent> by_category(TraceCategory c) const;
+
+  /// Events whose action string equals `action`.
+  std::vector<TraceEvent> by_action(const std::string& action) const;
+
+  /// Events attributed to one actor.
+  std::vector<TraceEvent> by_actor(const std::string& actor) const;
+
+  std::size_t count_action(const std::string& action) const;
+
+  /// Renders the trailing `max_lines` events; used by examples and debugging.
+  std::string render_tail(std::size_t max_lines = 50) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cyd::sim

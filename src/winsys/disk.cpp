@@ -1,0 +1,42 @@
+#include "winsys/disk.hpp"
+
+namespace cyd::winsys {
+
+namespace {
+constexpr std::string_view kBootMagic = "BOOTCODE\x55\xaa";
+}
+
+Disk::Disk() : mbr_(valid_boot_code()) {
+  partitions_.push_back(Partition{"system", true, valid_boot_code()});
+  partitions_.push_back(Partition{"data", false, valid_boot_code()});
+}
+
+common::Bytes Disk::valid_boot_code() { return common::Bytes(kBootMagic); }
+
+bool Disk::mbr_intact() const { return mbr_ == valid_boot_code(); }
+
+Partition* Disk::active_partition() {
+  for (auto& p : partitions_) {
+    if (p.active) return &p;
+  }
+  return nullptr;
+}
+
+bool Disk::active_partition_intact() const {
+  for (const auto& p : partitions_) {
+    if (p.active) return p.boot_sector == valid_boot_code();
+  }
+  return false;
+}
+
+void Disk::write_sector(std::uint64_t lba, common::Bytes data) {
+  sectors_[lba] = std::move(data);
+  ++raw_writes_;
+}
+
+const common::Bytes* Disk::read_sector(std::uint64_t lba) const {
+  auto it = sectors_.find(lba);
+  return it == sectors_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cyd::winsys

@@ -1,0 +1,55 @@
+#pragma once
+// Physical disk model: MBR, partition table, raw sector access.
+//
+// User-mode code cannot touch the MBR; Shamoon's whole reason for shipping
+// the Eldos-signed raw-disk driver is to open this gate. Host::raw_disk_*
+// enforce the driver-capability check; this class is the storage itself.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace cyd::winsys {
+
+struct Partition {
+  std::string name;       // "system", "data"
+  bool active = false;    // boot partition flag
+  common::Bytes boot_sector;
+};
+
+class Disk {
+ public:
+  Disk();
+
+  const common::Bytes& mbr() const { return mbr_; }
+  void overwrite_mbr(common::Bytes data) { mbr_ = std::move(data); }
+  /// True while the MBR still carries valid boot code.
+  bool mbr_intact() const;
+
+  std::vector<Partition>& partitions() { return partitions_; }
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  Partition* active_partition();
+  /// True while the active partition's boot sector is valid.
+  bool active_partition_intact() const;
+
+  /// Raw sector store for arbitrary low-level writes (forensic carving reads
+  /// it back). Sector numbers are sparse keys.
+  void write_sector(std::uint64_t lba, common::Bytes data);
+  const common::Bytes* read_sector(std::uint64_t lba) const;
+  std::size_t raw_write_count() const { return raw_writes_; }
+
+  /// The well-known valid boot signature the model uses.
+  static common::Bytes valid_boot_code();
+
+ private:
+  common::Bytes mbr_;
+  std::vector<Partition> partitions_;
+  std::map<std::uint64_t, common::Bytes> sectors_;
+  std::size_t raw_writes_ = 0;
+};
+
+}  // namespace cyd::winsys

@@ -1,0 +1,24 @@
+#include "winsys/drivers.hpp"
+
+namespace cyd::winsys {
+
+const char* to_string(DriverPolicy p) {
+  switch (p) {
+    case DriverPolicy::kAllowUnsigned: return "allow-unsigned";
+    case DriverPolicy::kRequireValidSignature: return "require-valid-signature";
+  }
+  return "?";
+}
+
+const char* to_string(DriverLoadResult r) {
+  switch (r) {
+    case DriverLoadResult::kLoaded: return "loaded";
+    case DriverLoadResult::kRejectedUnsigned: return "rejected-unsigned";
+    case DriverLoadResult::kRejectedBadSignature: return "rejected-bad-signature";
+    case DriverLoadResult::kFileNotFound: return "file-not-found";
+    case DriverLoadResult::kNotADriverImage: return "not-a-driver-image";
+  }
+  return "?";
+}
+
+}  // namespace cyd::winsys

@@ -1,0 +1,55 @@
+#pragma once
+// Kernel driver store and signing policy.
+//
+// Loading a driver is the simulated kernel's trust decision: the image's
+// Authenticode signature is verified against the host's certificate and
+// trust stores, subject to the host policy. A loaded driver grants
+// capabilities — raw disk access (Shamoon's Eldos driver), file/process
+// hiding and injection (Stuxnet's mrxcls/mrxnet rootkit).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pki/signing.hpp"
+#include "winsys/path.hpp"
+
+namespace cyd::winsys {
+
+enum DriverCapability : std::uint32_t {
+  kCapNone = 0,
+  kCapRawDiskAccess = 1u << 0,   // user-mode can reach MBR/sectors through it
+  kCapFileHiding = 1u << 1,      // rootkit: filter filesystem enumeration
+  kCapProcessInjection = 1u << 2,
+  kCapProcessHiding = 1u << 3,
+};
+
+enum class DriverPolicy : std::uint8_t {
+  /// Pre-Vista behaviour: unsigned drivers load (perhaps with a user prompt
+  /// the attacker's installer clicks through).
+  kAllowUnsigned,
+  /// 64-bit enforcement: only validly signed drivers load.
+  kRequireValidSignature,
+};
+
+const char* to_string(DriverPolicy p);
+
+struct LoadedDriver {
+  std::string name;
+  Path image_path;
+  std::uint32_t capabilities = kCapNone;
+  std::string signer_subject;  // empty when unsigned-but-allowed
+  pki::SignatureStatus signature_status = pki::SignatureStatus::kUnsigned;
+};
+
+enum class DriverLoadResult : std::uint8_t {
+  kLoaded,
+  kRejectedUnsigned,
+  kRejectedBadSignature,
+  kFileNotFound,
+  kNotADriverImage,
+};
+
+const char* to_string(DriverLoadResult r);
+
+}  // namespace cyd::winsys

@@ -1,0 +1,269 @@
+#include "winsys/filesystem.hpp"
+
+#include <algorithm>
+
+namespace cyd::winsys {
+
+std::size_t Volume::used_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [path, node] : files_) total += node.data.size();
+  return total;
+}
+
+std::string FileSystem::rel(const Path& p) {
+  const std::string& s = p.str();
+  return s.size() > 3 ? s.substr(3) : std::string{};
+}
+
+Path FileSystem::abs(char letter, const std::string& rel_path) {
+  Path root(std::string{letter, ':'});
+  return rel_path.empty() ? root : root.join(rel_path);
+}
+
+Volume& FileSystem::add_volume(char letter) {
+  auto it = volumes_.emplace(letter, std::make_shared<Volume>()).first;
+  return *it->second;
+}
+
+bool FileSystem::mount(char letter, std::shared_ptr<Volume> volume) {
+  if (volumes_.contains(letter) || volume == nullptr) return false;
+  volumes_.emplace(letter, std::move(volume));
+  removable_.insert(letter);
+  return true;
+}
+
+bool FileSystem::unmount(char letter) {
+  if (!removable_.contains(letter)) return false;
+  removable_.erase(letter);
+  volumes_.erase(letter);
+  return true;
+}
+
+std::optional<char> FileSystem::free_letter() const {
+  for (char c = 'd'; c <= 'z'; ++c) {
+    if (!volumes_.contains(c)) return c;
+  }
+  return std::nullopt;
+}
+
+Volume* FileSystem::volume(char letter) {
+  auto it = volumes_.find(letter);
+  return it == volumes_.end() ? nullptr : it->second.get();
+}
+
+const Volume* FileSystem::volume(char letter) const {
+  auto it = volumes_.find(letter);
+  return it == volumes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<char> FileSystem::mounted_letters() const {
+  std::vector<char> out;
+  out.reserve(volumes_.size());
+  for (const auto& [letter, vol] : volumes_) out.push_back(letter);
+  return out;
+}
+
+std::vector<char> FileSystem::removable_letters() const {
+  return {removable_.begin(), removable_.end()};
+}
+
+Volume* FileSystem::volume_of(const Path& p) {
+  const char d = p.drive();
+  return d == '\0' ? nullptr : volume(d);
+}
+
+const Volume* FileSystem::volume_of(const Path& p) const {
+  const char d = p.drive();
+  return d == '\0' ? nullptr : volume(d);
+}
+
+bool FileSystem::mkdirs(const Path& dir) {
+  Volume* vol = volume_of(dir);
+  if (vol == nullptr) return false;
+  std::string current;
+  for (const auto& comp : dir.components()) {
+    current = current.empty() ? comp : current + "\\" + comp;
+    if (vol->files().contains(current)) return false;  // file in the way
+    vol->dirs().insert(current);
+  }
+  return true;
+}
+
+bool FileSystem::exists(const Path& p) const {
+  return is_dir(p) || is_file(p);
+}
+
+bool FileSystem::is_dir(const Path& p) const {
+  const Volume* vol = volume_of(p);
+  return vol != nullptr && vol->dirs().contains(rel(p));
+}
+
+bool FileSystem::is_file(const Path& p) const {
+  const Volume* vol = volume_of(p);
+  return vol != nullptr && vol->files().contains(rel(p));
+}
+
+bool FileSystem::write_file(const Path& p, common::Bytes data,
+                            sim::TimePoint now, FileAttr attr) {
+  Volume* vol = volume_of(p);
+  if (vol == nullptr || p.is_root()) return false;
+  const std::string r = rel(p);
+  if (vol->dirs().contains(r)) return false;  // directory in the way
+  if (!mkdirs(p.parent())) return false;
+
+  auto it = vol->files().find(r);
+  if (it == vol->files().end()) {
+    FileNode node;
+    node.data = data;
+    node.attr = attr;
+    node.created = now;
+    node.modified = now;
+    vol->files().emplace(r, std::move(node));
+  } else {
+    if (it->second.attr.readonly) return false;
+    ++it->second.overwrite_count;
+    it->second.data = data;
+    it->second.modified = now;
+  }
+  notify(FsEvent{FsEvent::Kind::kWrite, p, &data});
+  return true;
+}
+
+std::optional<common::Bytes> FileSystem::read_file(const Path& p) const {
+  const Volume* vol = volume_of(p);
+  if (vol == nullptr) return std::nullopt;
+  auto it = vol->files().find(rel(p));
+  if (it == vol->files().end()) return std::nullopt;
+  notify(FsEvent{FsEvent::Kind::kRead, p, nullptr});
+  return it->second.data;
+}
+
+const FileNode* FileSystem::stat(const Path& p) const {
+  const Volume* vol = volume_of(p);
+  if (vol == nullptr) return nullptr;
+  auto it = vol->files().find(rel(p));
+  return it == vol->files().end() ? nullptr : &it->second;
+}
+
+FileNode* FileSystem::stat_mutable(const Path& p) {
+  Volume* vol = volume_of(p);
+  if (vol == nullptr) return nullptr;
+  auto it = vol->files().find(rel(p));
+  return it == vol->files().end() ? nullptr : &it->second;
+}
+
+bool FileSystem::delete_file(const Path& p, sim::TimePoint now, bool shred) {
+  Volume* vol = volume_of(p);
+  if (vol == nullptr) return false;
+  auto it = vol->files().find(rel(p));
+  if (it == vol->files().end()) return false;
+  Tombstone stone;
+  stone.rel_path = it->first;
+  stone.deleted_at = now;
+  stone.shredded = shred;
+  // Shredded remnants keep nothing; plain deletion leaves the last content
+  // recoverable (which is why wipers overwrite *before* deleting).
+  stone.data = shred ? common::Bytes() : it->second.data;
+  vol->tombstones().push_back(std::move(stone));
+  vol->files().erase(it);
+  notify(FsEvent{FsEvent::Kind::kDelete, p, nullptr});
+  return true;
+}
+
+std::size_t FileSystem::delete_tree(const Path& dir, sim::TimePoint now,
+                                    bool shred) {
+  Volume* vol = volume_of(dir);
+  if (vol == nullptr) return 0;
+  std::size_t removed = 0;
+  for (const Path& file : find_files(dir)) {
+    if (delete_file(file, now, shred)) ++removed;
+  }
+  // Drop the directory entries at and below dir, except the root itself.
+  const std::string r = rel(dir);
+  for (auto it = vol->dirs().begin(); it != vol->dirs().end();) {
+    const std::string& d = *it;
+    const bool below =
+        !r.empty()
+            ? (d == r || (d.size() > r.size() && d.compare(0, r.size(), r) == 0 &&
+                          d[r.size()] == '\\'))
+            : !d.empty();
+    if (below) {
+      it = vol->dirs().erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool FileSystem::rename(const Path& from, const Path& to, sim::TimePoint now) {
+  Volume* src = volume_of(from);
+  Volume* dst = volume_of(to);
+  if (src == nullptr || dst == nullptr) return false;
+  auto it = src->files().find(rel(from));
+  if (it == src->files().end()) return false;
+  const std::string to_rel = rel(to);
+  if (dst->files().contains(to_rel) || dst->dirs().contains(to_rel)) {
+    return false;
+  }
+  if (!mkdirs(to.parent())) return false;
+  FileNode node = std::move(it->second);
+  node.modified = now;
+  src->files().erase(it);
+  dst->files().emplace(to_rel, std::move(node));
+  notify(FsEvent{FsEvent::Kind::kRename, to, nullptr});
+  return true;
+}
+
+std::vector<std::string> FileSystem::list_dir(const Path& dir) const {
+  std::vector<std::string> out;
+  const Volume* vol = volume_of(dir);
+  if (vol == nullptr || !vol->dirs().contains(rel(dir))) return out;
+  const std::string r = rel(dir);
+  const std::string prefix = r.empty() ? "" : r + "\\";
+  auto collect = [&](const std::string& entry) {
+    if (entry.empty() || entry.size() <= prefix.size()) return;
+    if (!prefix.empty() && entry.compare(0, prefix.size(), prefix) != 0) {
+      return;
+    }
+    const std::string rest = entry.substr(prefix.size());
+    if (!rest.empty() && rest.find('\\') == std::string::npos) {
+      out.push_back(rest);
+    }
+  };
+  for (const auto& d : vol->dirs()) collect(d);
+  for (const auto& [path, node] : vol->files()) collect(path);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Path> FileSystem::find_files(const Path& dir) const {
+  std::vector<Path> out;
+  const Volume* vol = volume_of(dir);
+  if (vol == nullptr) return out;
+  const std::string r = rel(dir);
+  for (const auto& [path, node] : vol->files()) {
+    const bool within =
+        r.empty() || path == r ||
+        (path.size() > r.size() && path.compare(0, r.size(), r) == 0 &&
+         path[r.size()] == '\\');
+    if (within) out.push_back(abs(dir.drive(), path));
+  }
+  return out;
+}
+
+std::vector<Path> FileSystem::all_files() const {
+  std::vector<Path> out;
+  for (const auto& [letter, vol] : volumes_) {
+    for (const auto& [path, node] : vol->files()) {
+      out.push_back(abs(letter, path));
+    }
+  }
+  return out;
+}
+
+void FileSystem::notify(const FsEvent& event) const {
+  for (const auto& observer : observers_) observer(event);
+}
+
+}  // namespace cyd::winsys

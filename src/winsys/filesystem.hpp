@@ -1,0 +1,148 @@
+#pragma once
+// The simulated NTFS-like filesystem.
+//
+// A FileSystem is a set of mounted Volumes keyed by drive letter; removable
+// media (winsys/usb.hpp) share their Volume object with whichever host they
+// are plugged into, so volume-internal paths are stored *relative to the
+// drive root* ("windows\\system32\\x.dll") and acquire a letter only through
+// the mount point. Deleted files leave recoverable tombstones unless they
+// were shredded (overwritten before deletion) — the hook the forensics
+// module uses to measure what SUICIDE/LogWiper/Shamoon leave behind.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "sim/time.hpp"
+#include "winsys/path.hpp"
+
+namespace cyd::winsys {
+
+struct FileAttr {
+  bool hidden = false;
+  bool system = false;
+  bool readonly = false;
+};
+
+struct FileNode {
+  common::Bytes data;
+  FileAttr attr;
+  sim::TimePoint created = 0;
+  sim::TimePoint modified = 0;
+  /// Times the live content was overwritten in place (wiper passes).
+  int overwrite_count = 0;
+};
+
+/// Remnant of a deleted file; recoverable unless shredded. Paths are
+/// drive-relative (the volume may be remounted elsewhere).
+struct Tombstone {
+  std::string rel_path;
+  common::Bytes data;
+  sim::TimePoint deleted_at = 0;
+  bool shredded = false;
+};
+
+/// One disk or stick's contents, independent of any mount point. Paths are
+/// drive-relative canonical strings; "" denotes the root directory.
+class Volume {
+ public:
+  Volume() { dirs_.insert(""); }
+
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
+  std::map<std::string, FileNode>& files() { return files_; }
+  const std::map<std::string, FileNode>& files() const { return files_; }
+  std::set<std::string>& dirs() { return dirs_; }
+  const std::set<std::string>& dirs() const { return dirs_; }
+  std::vector<Tombstone>& tombstones() { return tombstones_; }
+  const std::vector<Tombstone>& tombstones() const { return tombstones_; }
+
+  std::size_t used_bytes() const;
+
+ private:
+  std::string label_;
+  std::map<std::string, FileNode> files_;  // rel path -> node
+  std::set<std::string> dirs_;             // rel dir paths ("" = root)
+  std::vector<Tombstone> tombstones_;
+};
+
+/// Observer invoked on mutating operations; the AV on-access scanner and the
+/// sandbox instrumentation register here.
+struct FsEvent {
+  enum class Kind { kWrite, kDelete, kRename, kRead, kExecute } kind;
+  Path path;
+  const common::Bytes* data = nullptr;  // valid for kWrite only
+};
+using FsObserver = std::function<void(const FsEvent&)>;
+
+class FileSystem {
+ public:
+  /// Creates and mounts a fresh fixed volume.
+  Volume& add_volume(char letter);
+  /// Mounts an existing (shared) volume, e.g. a USB stick, as removable.
+  /// Returns false if the letter is taken.
+  bool mount(char letter, std::shared_ptr<Volume> volume);
+  /// Unmounts a removable volume; fixed volumes cannot be unmounted.
+  bool unmount(char letter);
+  /// First free letter from 'd' onward (USB assignment).
+  std::optional<char> free_letter() const;
+
+  Volume* volume(char letter);
+  const Volume* volume(char letter) const;
+  std::vector<char> mounted_letters() const;
+  std::vector<char> removable_letters() const;
+
+  // --- file operations (paths must be absolute) ---
+  bool mkdirs(const Path& dir);
+  bool exists(const Path& p) const;
+  bool is_dir(const Path& p) const;
+  bool is_file(const Path& p) const;
+
+  /// Writes (creates or replaces) a file; parent directories are created.
+  /// Replacing an existing file counts as an in-place overwrite.
+  bool write_file(const Path& p, common::Bytes data, sim::TimePoint now,
+                  FileAttr attr = {});
+  std::optional<common::Bytes> read_file(const Path& p) const;
+  const FileNode* stat(const Path& p) const;
+  FileNode* stat_mutable(const Path& p);
+
+  /// Deletes a file. With `shred`, the content is destroyed before deletion
+  /// and the tombstone is marked unrecoverable.
+  bool delete_file(const Path& p, sim::TimePoint now, bool shred = false);
+  /// Deletes a directory tree (files get tombstones per `shred`).
+  std::size_t delete_tree(const Path& dir, sim::TimePoint now,
+                          bool shred = false);
+  bool rename(const Path& from, const Path& to, sim::TimePoint now);
+
+  /// Immediate children (names, not full paths) of a directory.
+  std::vector<std::string> list_dir(const Path& dir) const;
+  /// All file paths under `dir` (recursive), absolute form.
+  std::vector<Path> find_files(const Path& dir) const;
+  /// All file paths on every mounted volume, absolute form.
+  std::vector<Path> all_files() const;
+
+  void add_observer(FsObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+  /// Fires an event to observers (Host also calls this on execution).
+  void notify(const FsEvent& event) const;
+
+ private:
+  Volume* volume_of(const Path& p);
+  const Volume* volume_of(const Path& p) const;
+  /// Drive-relative part of an absolute path ("" for the root).
+  static std::string rel(const Path& p);
+  static Path abs(char letter, const std::string& rel_path);
+
+  std::map<char, std::shared_ptr<Volume>> volumes_;
+  std::set<char> removable_;
+  std::vector<FsObserver> observers_;
+};
+
+}  // namespace cyd::winsys

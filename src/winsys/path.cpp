@@ -1,0 +1,104 @@
+#include "winsys/path.hpp"
+
+#include <cctype>
+
+namespace cyd::winsys {
+namespace {
+
+std::string canonicalize(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  bool last_was_sep = false;
+  for (char raw_c : raw) {
+    char c = raw_c == '/' ? '\\' : raw_c;
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (c == '\\') {
+      if (last_was_sep || out.empty()) continue;  // collapse; no leading sep
+      last_was_sep = true;
+      out.push_back(c);
+    } else {
+      last_was_sep = false;
+      out.push_back(c);
+    }
+  }
+  while (!out.empty() && out.back() == '\\') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+Path::Path(std::string_view raw) : canonical_(canonicalize(raw)) {}
+
+char Path::drive() const {
+  if (canonical_.size() >= 2 && canonical_[1] == ':' &&
+      canonical_[0] >= 'a' && canonical_[0] <= 'z') {
+    return canonical_[0];
+  }
+  return '\0';
+}
+
+bool Path::is_root() const {
+  return canonical_.size() == 2 && drive() != '\0';
+}
+
+Path Path::parent() const {
+  const auto pos = canonical_.rfind('\\');
+  if (pos == std::string::npos) return *this;
+  Path p;
+  p.canonical_ = canonical_.substr(0, pos);
+  return p;
+}
+
+std::string Path::filename() const {
+  if (is_root()) return {};
+  const auto pos = canonical_.rfind('\\');
+  return pos == std::string::npos ? canonical_ : canonical_.substr(pos + 1);
+}
+
+std::string Path::extension() const {
+  const std::string name = filename();
+  const auto pos = name.rfind('.');
+  if (pos == std::string::npos || pos + 1 == name.size()) return {};
+  return name.substr(pos + 1);
+}
+
+Path Path::join(std::string_view component) const {
+  const std::string sub = canonicalize(component);
+  if (sub.empty()) return *this;
+  if (canonical_.empty()) {
+    Path p;
+    p.canonical_ = sub;
+    return p;
+  }
+  Path p;
+  p.canonical_ = canonical_ + "\\" + sub;
+  return p;
+}
+
+std::vector<std::string> Path::components() const {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  if (drive() != '\0') start = 3;  // skip "c:\"
+  if (start >= canonical_.size()) return out;
+  std::size_t pos = start;
+  while (pos <= canonical_.size()) {
+    const auto next = canonical_.find('\\', pos);
+    if (next == std::string::npos) {
+      out.push_back(canonical_.substr(pos));
+      break;
+    }
+    out.push_back(canonical_.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+bool Path::is_within(const Path& dir) const {
+  if (canonical_ == dir.canonical_) return true;
+  if (dir.canonical_.empty()) return false;
+  return canonical_.size() > dir.canonical_.size() &&
+         canonical_.compare(0, dir.canonical_.size(), dir.canonical_) == 0 &&
+         canonical_[dir.canonical_.size()] == '\\';
+}
+
+}  // namespace cyd::winsys

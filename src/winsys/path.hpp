@@ -1,0 +1,56 @@
+#pragma once
+// Windows-style path handling for the simulated filesystem.
+//
+// Paths are case-insensitive, backslash-separated, and rooted at a drive
+// letter ("C:\Windows\system32\s7otbxdx.dll"). Canonical form is lower-case
+// with single backslashes and no trailing separator, which is what the
+// filesystem keys on.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cyd::winsys {
+
+class Path {
+ public:
+  Path() = default;
+  /// Accepts forward or back slashes and any casing.
+  Path(std::string_view raw);            // NOLINT(google-explicit-constructor)
+  Path(const char* raw) : Path(std::string_view(raw)) {}  // NOLINT
+  Path(const std::string& raw) : Path(std::string_view(raw)) {}  // NOLINT
+
+  /// Canonical lower-case text, e.g. "c:\\windows\\system32".
+  const std::string& str() const { return canonical_; }
+  bool empty() const { return canonical_.empty(); }
+
+  /// Drive letter ('c'..'z') or '\0' for relative paths.
+  char drive() const;
+  /// True when the path names a drive root ("c:").
+  bool is_root() const;
+  /// Parent directory; root's parent is itself.
+  Path parent() const;
+  /// Final component ("s7otbxdx.dll"); empty for a root.
+  std::string filename() const;
+  /// Lower-case extension without the dot ("dll"); empty if none.
+  std::string extension() const;
+  /// Appends a component (or a relative sub-path).
+  Path join(std::string_view component) const;
+  /// Path components below the drive root.
+  std::vector<std::string> components() const;
+  /// True when this path is lexically inside `dir` (or equal to it).
+  bool is_within(const Path& dir) const;
+
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.canonical_ == b.canonical_;
+  }
+  friend auto operator<=>(const Path& a, const Path& b) {
+    return a.canonical_ <=> b.canonical_;
+  }
+
+ private:
+  std::string canonical_;
+};
+
+}  // namespace cyd::winsys

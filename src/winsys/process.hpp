@@ -1,0 +1,45 @@
+#pragma once
+// Processes, services and scheduled tasks (data model).
+//
+// The lifecycle operations live on Host (which owns the filesystem, program
+// registry reference and simulation clock); these are the records it keeps.
+
+#include <memory>
+#include <string>
+
+#include "sim/time.hpp"
+#include "winsys/path.hpp"
+#include "winsys/program.hpp"
+
+namespace cyd::winsys {
+
+struct Process {
+  int pid = 0;
+  std::string name;
+  Path image_path;
+  bool elevated = false;
+  /// Hidden from enumeration by a rootkit driver.
+  bool hidden = false;
+  /// Alive while resident; run-to-completion programs are removed after run.
+  std::unique_ptr<Program> program;
+};
+
+struct Service {
+  std::string name;          // e.g. "TrkSvr"
+  std::string display_name;  // e.g. "Distributed Link Tracking Server"
+  Path binary_path;
+  bool autostart = true;
+  bool running = false;
+  int pid = 0;  // 0 when stopped
+};
+
+struct ScheduledTask {
+  std::string name;
+  Path binary_path;
+  sim::TimePoint at = 0;
+  /// 0 = one-shot; otherwise the task re-fires every `period`.
+  sim::Duration period = 0;
+  bool cancelled = false;
+};
+
+}  // namespace cyd::winsys

@@ -1,0 +1,65 @@
+#pragma once
+// Executable behaviour binding.
+//
+// A simulated PE carries a `program_id`; when a host executes the file, the
+// scenario-wide ProgramRegistry maps that id to a factory producing the
+// in-sim behaviour object. Copying the file bytes to another host and
+// executing them there reproduces the behaviour — exactly how droppers
+// propagate. Benign software (Step 7, IE, services) and malware components
+// are all Programs.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "winsys/path.hpp"
+
+namespace cyd::winsys {
+
+class Host;
+
+/// How and by whom the execution was initiated; used for trace attribution
+/// and by exploits that care about the launch channel.
+struct ExecContext {
+  Path image_path;
+  std::string launched_by;   // "explorer", "services", "task-scheduler"...
+  bool elevated = false;     // SYSTEM-level (service/exploited) execution
+  bool from_autoplay = false;
+};
+
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  /// Runs the program on `host`. Returns true to stay resident (the process
+  /// remains in the process list until killed); false for run-to-completion.
+  virtual bool run(Host& host, const ExecContext& ctx) = 0;
+
+  /// Process-list name, e.g. "trksvr.exe".
+  virtual std::string process_name() const = 0;
+};
+
+using ProgramFactory = std::function<std::unique_ptr<Program>()>;
+
+class ProgramRegistry {
+ public:
+  /// Registers (or replaces) the behaviour behind a program id.
+  void register_program(std::string id, ProgramFactory factory) {
+    factories_[std::move(id)] = std::move(factory);
+  }
+
+  bool known(const std::string& id) const { return factories_.contains(id); }
+
+  /// Instantiates the behaviour; nullptr for unknown ids (the file is then
+  /// inert data, like an executable for a missing runtime).
+  std::unique_ptr<Program> create(const std::string& id) const {
+    auto it = factories_.find(id);
+    return it == factories_.end() ? nullptr : it->second();
+  }
+
+ private:
+  std::map<std::string, ProgramFactory> factories_;
+};
+
+}  // namespace cyd::winsys

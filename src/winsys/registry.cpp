@@ -1,0 +1,98 @@
+#include "winsys/registry.hpp"
+
+#include <cctype>
+
+namespace cyd::winsys {
+
+std::string Registry::canon(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool last_sep = false;
+  for (char raw : s) {
+    char c = raw == '/' ? '\\' : raw;
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (c == '\\') {
+      if (last_sep || out.empty()) continue;
+      last_sep = true;
+    } else {
+      last_sep = false;
+    }
+    out.push_back(c);
+  }
+  while (!out.empty() && out.back() == '\\') out.pop_back();
+  return out;
+}
+
+void Registry::set(std::string_view key, std::string_view value,
+                   RegValue data) {
+  keys_[canon(key)][canon(value)] = std::move(data);
+}
+
+std::optional<RegValue> Registry::get(std::string_view key,
+                                      std::string_view value) const {
+  auto kit = keys_.find(canon(key));
+  if (kit == keys_.end()) return std::nullopt;
+  auto vit = kit->second.find(canon(value));
+  if (vit == kit->second.end()) return std::nullopt;
+  return vit->second;
+}
+
+std::optional<std::string> Registry::get_string(std::string_view key,
+                                                std::string_view value) const {
+  auto v = get(key, value);
+  if (!v || !std::holds_alternative<std::string>(*v)) return std::nullopt;
+  return std::get<std::string>(*v);
+}
+
+std::optional<std::uint32_t> Registry::get_dword(std::string_view key,
+                                                 std::string_view value) const {
+  auto v = get(key, value);
+  if (!v || !std::holds_alternative<std::uint32_t>(*v)) return std::nullopt;
+  return std::get<std::uint32_t>(*v);
+}
+
+bool Registry::remove_value(std::string_view key, std::string_view value) {
+  auto kit = keys_.find(canon(key));
+  if (kit == keys_.end()) return false;
+  return kit->second.erase(canon(value)) > 0;
+}
+
+std::size_t Registry::remove_key(std::string_view key) {
+  const std::string k = canon(key);
+  const std::string prefix = k + "\\";
+  std::size_t removed = 0;
+  for (auto it = keys_.begin(); it != keys_.end();) {
+    if (it->first == k ||
+        it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = keys_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool Registry::key_exists(std::string_view key) const {
+  return keys_.contains(canon(key));
+}
+
+std::vector<std::string> Registry::values(std::string_view key) const {
+  std::vector<std::string> out;
+  auto kit = keys_.find(canon(key));
+  if (kit == keys_.end()) return out;
+  out.reserve(kit->second.size());
+  for (const auto& [name, data] : kit->second) out.push_back(name);
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Registry::all_entries()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, vals] : keys_) {
+    for (const auto& [name, data] : vals) out.emplace_back(key, name);
+  }
+  return out;
+}
+
+}  // namespace cyd::winsys

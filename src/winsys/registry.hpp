@@ -1,0 +1,51 @@
+#pragma once
+// Simulated Windows registry.
+//
+// Keys are backslash paths under the usual hives ("HKLM\\SYSTEM\\..."),
+// values are string or dword. Malware persistence (Stuxnet's service keys,
+// Shamoon's TrkSvr service) and configuration (autorun policy) live here,
+// and the IOC extractor walks it.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace cyd::winsys {
+
+using RegValue = std::variant<std::string, std::uint32_t>;
+
+class Registry {
+ public:
+  /// Sets (creating intermediate keys implicitly) key\value = data.
+  void set(std::string_view key, std::string_view value, RegValue data);
+
+  std::optional<RegValue> get(std::string_view key,
+                              std::string_view value) const;
+  std::optional<std::string> get_string(std::string_view key,
+                                        std::string_view value) const;
+  std::optional<std::uint32_t> get_dword(std::string_view key,
+                                         std::string_view value) const;
+
+  bool remove_value(std::string_view key, std::string_view value);
+  /// Deletes a key and every subkey.
+  std::size_t remove_key(std::string_view key);
+
+  bool key_exists(std::string_view key) const;
+  /// Value names under a key.
+  std::vector<std::string> values(std::string_view key) const;
+  /// Every (key, value) pair, for IOC sweeps.
+  std::vector<std::pair<std::string, std::string>> all_entries() const;
+
+ private:
+  static std::string canon(std::string_view s);
+
+  // canonical key -> (canonical value name -> data)
+  std::map<std::string, std::map<std::string, RegValue>> keys_;
+};
+
+}  // namespace cyd::winsys

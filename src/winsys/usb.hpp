@@ -1,0 +1,51 @@
+#pragma once
+// Removable USB media.
+//
+// USB drives are the campaign's signature infection vector (paper §V-E):
+// Stuxnet's LNK-laced sticks seeded Natanz, and Flame used a hidden on-stick
+// database to ferry stolen documents out of air-gapped networks. A UsbDrive
+// owns a Volume that is mounted into whichever host it is currently plugged
+// into; the drive also remembers where it has been, which is what Flame's
+// air-gap exfiltration logic keys on.
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "winsys/filesystem.hpp"
+
+namespace cyd::winsys {
+
+class Host;
+
+class UsbDrive {
+ public:
+  explicit UsbDrive(std::string id)
+      : id_(std::move(id)), volume_(std::make_shared<Volume>()) {}
+
+  const std::string& id() const { return id_; }
+  const std::shared_ptr<Volume>& volume() const { return volume_; }
+
+  /// Host currently holding the stick (nullptr while in a pocket).
+  Host* plugged_into() const { return host_; }
+  /// Mount letter on the current host ('\0' when unplugged).
+  char mount_letter() const { return letter_; }
+
+  /// Names of hosts this stick has ever been plugged into.
+  const std::set<std::string>& visited_hosts() const { return visited_; }
+  /// True once the stick has been in any internet-connected host — the
+  /// condition Flame checks before staging stolen files onto it.
+  bool has_seen_internet_host() const { return seen_internet_; }
+
+ private:
+  friend class Host;  // plug/unplug bookkeeping
+
+  std::string id_;
+  std::shared_ptr<Volume> volume_;
+  Host* host_ = nullptr;
+  char letter_ = '\0';
+  std::set<std::string> visited_;
+  bool seen_internet_ = false;
+};
+
+}  // namespace cyd::winsys

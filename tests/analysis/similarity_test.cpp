@@ -1,0 +1,142 @@
+#include "analysis/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "malware/duqu/duqu.hpp"
+#include "malware/flame/flame.hpp"
+#include "malware/gauss/gauss.hpp"
+#include "malware/shamoon/shamoon.hpp"
+#include "malware/stuxnet/stuxnet.hpp"
+#include "net/network.hpp"
+
+namespace cyd::analysis {
+namespace {
+
+/// One throwaway world to mint all five specimens.
+struct SpecimenLab {
+  sim::Simulation simulation;
+  net::Network network{simulation};
+  winsys::ProgramRegistry programs;
+  scada::S7ProxyRegistry proxies;
+  malware::InfectionTracker tracker;
+  malware::stuxnet::Stuxnet stuxnet{simulation, network, programs, proxies,
+                                    tracker};
+  malware::duqu::Duqu duqu{simulation, network, programs, tracker};
+  malware::flame::Flame flame{simulation, network, programs, tracker,
+                              malware::flame::FlameConfig{}};
+  malware::gauss::Gauss gauss{simulation, network, programs, tracker};
+  malware::shamoon::Shamoon shamoon{simulation, network, programs, tracker};
+
+  std::vector<LabelledSpecimen> all() {
+    return {
+        {"stuxnet", stuxnet.build_dropper().serialize()},
+        {"duqu", duqu.build_installer("victim-x").serialize()},
+        {"flame", flame.build_installer().serialize()},
+        {"gauss", gauss.build_installer().serialize()},
+        {"shamoon", shamoon.build_trksvr().serialize()},
+    };
+  }
+};
+
+TEST(SimilarityTest, IdenticalSpecimensScoreOne) {
+  SpecimenLab lab;
+  const auto bytes = lab.stuxnet.build_dropper().serialize();
+  EXPECT_NEAR(specimen_similarity(bytes, bytes), 1.0, 1e-9);
+}
+
+TEST(SimilarityTest, FeatureExtractionDescendsIntoResources) {
+  SpecimenLab lab;
+  const auto features =
+      extract_features(lab.shamoon.build_trksvr().serialize());
+  // Strings from the XOR-encrypted wiper surface after key recovery.
+  bool found_wiper_string = false;
+  for (const auto& s : features.strings) {
+    if (s.find("mbr logic") != std::string::npos) found_wiper_string = true;
+  }
+  EXPECT_TRUE(found_wiper_string);
+}
+
+TEST(SimilarityTest, TildedPlatformLinksStuxnetAndDuqu) {
+  SpecimenLab lab;
+  const auto stuxnet = lab.stuxnet.build_dropper().serialize();
+  const auto duqu = lab.duqu.build_installer("victim-1").serialize();
+  const auto shamoon = lab.shamoon.build_trksvr().serialize();
+  const double kin = specimen_similarity(stuxnet, duqu);
+  EXPECT_GT(kin, specimen_similarity(stuxnet, shamoon));
+  EXPECT_GT(kin, specimen_similarity(duqu, shamoon));
+  EXPECT_GT(kin, 0.2);
+}
+
+TEST(SimilarityTest, FlamePlatformLinksFlameAndGauss) {
+  SpecimenLab lab;
+  const auto flame = lab.flame.build_installer().serialize();
+  const auto gauss = lab.gauss.build_installer().serialize();
+  const auto stuxnet = lab.stuxnet.build_dropper().serialize();
+  const double kin = specimen_similarity(flame, gauss);
+  EXPECT_GT(kin, specimen_similarity(flame, stuxnet));
+  EXPECT_GT(kin, specimen_similarity(gauss, stuxnet));
+}
+
+TEST(SimilarityTest, PerVictimDuquBuildsStillClusterTogether) {
+  // Unique builds defeat hash signatures but not similarity analysis —
+  // which is exactly how analysts tied the per-victim Duqu samples to one
+  // family.
+  SpecimenLab lab;
+  const auto a = lab.duqu.build_installer("victim-a").serialize();
+  const auto b = lab.duqu.build_installer("victim-b").serialize();
+  EXPECT_NE(common::fnv1a64(a), common::fnv1a64(b));
+  EXPECT_GT(specimen_similarity(a, b), 0.6);
+}
+
+TEST(SimilarityTest, ClusteringRecoversTheTwoFactories) {
+  SpecimenLab lab;
+  const auto clusters = cluster_specimens(lab.all(), /*threshold=*/0.18);
+  // Expect: {stuxnet, duqu}, {flame, gauss}, {shamoon}.
+  ASSERT_EQ(clusters.size(), 3u);
+  auto find_cluster_of = [&](const std::string& label) -> std::set<std::string> {
+    for (const auto& cluster : clusters) {
+      for (const auto& member : cluster) {
+        if (member == label) {
+          return {cluster.begin(), cluster.end()};
+        }
+      }
+    }
+    return {};
+  };
+  EXPECT_EQ(find_cluster_of("stuxnet"),
+            (std::set<std::string>{"stuxnet", "duqu"}));
+  EXPECT_EQ(find_cluster_of("flame"),
+            (std::set<std::string>{"flame", "gauss"}));
+  EXPECT_EQ(find_cluster_of("shamoon"), (std::set<std::string>{"shamoon"}));
+}
+
+TEST(SimilarityTest, MatrixIsSymmetricWithUnitDiagonal) {
+  SpecimenLab lab;
+  const auto specimens = lab.all();
+  const auto matrix = similarity_matrix(specimens);
+  const std::size_t n = specimens.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i * n + i], 1.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i * n + j], matrix[j * n + i]);
+    }
+  }
+}
+
+TEST(SimilarityTest, GarbageBytesCompareViaStringsOnly) {
+  // Non-PE blobs fall back to string features; shared runs still register.
+  const std::string a = std::string("\x01", 1) + "platform loader v3" +
+                        std::string("\x02", 1) + "unique-alpha";
+  const std::string b = std::string("\x01", 1) + "platform loader v3" +
+                        std::string("\x02", 1) + "unique-bravo";
+  const double score = specimen_similarity(a, b);
+  EXPECT_GT(score, 0.0);
+  EXPECT_LT(score, 0.5);
+  // Nothing shared: zero.
+  EXPECT_DOUBLE_EQ(specimen_similarity("alpha-only-content-1",
+                                       "totally-different-text-2"),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace cyd::analysis

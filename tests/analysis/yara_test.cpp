@@ -1,0 +1,114 @@
+#include "analysis/yara.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyd::analysis {
+namespace {
+
+constexpr const char* kSampleRules = R"(
+// detection content for the campaign
+rule Stuxnet_Dropper {
+  meta: family = stuxnet
+  strings:
+    $a = "~wtr4132"
+    $b = "mrxcls"
+  condition: any of them
+}
+rule Shamoon_Wiper {
+  meta:
+    family = shamoon
+    severity = critical
+  strings:
+    $jpeg = { ff d8 ff e0 }
+    $inf = "f1.inf"
+  condition: all of them
+}
+rule Flame_Platform {
+  meta: family = flame
+  strings:
+    $a = "mssecmgr"
+    $b = "BEETLEJUICE"
+    $c = "FLASK"
+  condition: 2 of them
+}
+)";
+
+TEST(YaraTest, ParsesRuleCount) {
+  const auto set = RuleSet::parse(kSampleRules);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.rules()[1].meta.at("severity"), "critical");
+}
+
+TEST(YaraTest, AnyOfThemMatchesSingleString) {
+  const auto set = RuleSet::parse(kSampleRules);
+  const auto matches = set.scan("dropped file ~wtr4132.tmp to usb");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].rule, "Stuxnet_Dropper");
+  EXPECT_EQ(matches[0].family, "stuxnet");
+}
+
+TEST(YaraTest, AllOfThemNeedsEveryString) {
+  const auto set = RuleSet::parse(kSampleRules);
+  EXPECT_TRUE(set.scan("contains f1.inf only").empty());
+  const std::string both = std::string("\xFF\xD8\xFF\xE0", 4) + " f1.inf";
+  const auto matches = set.scan(both);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].rule, "Shamoon_Wiper");
+}
+
+TEST(YaraTest, AtLeastNCounts) {
+  const auto set = RuleSet::parse(kSampleRules);
+  EXPECT_TRUE(set.scan("mssecmgr alone").empty());
+  EXPECT_EQ(set.scan("mssecmgr with FLASK").size(), 1u);
+  EXPECT_EQ(set.scan("mssecmgr FLASK BEETLEJUICE").size(), 1u);
+}
+
+TEST(YaraTest, HexPatternsMatchBinary) {
+  const auto set = RuleSet::parse(
+      "rule Boot {\n strings:\n $m = { 55 aa }\n condition: any of them\n}");
+  EXPECT_EQ(set.scan(std::string("\x00\x55\xAA\x00", 4)).size(), 1u);
+  EXPECT_TRUE(set.scan("plain text").empty());
+}
+
+TEST(YaraTest, EmptyInputNeverMatches) {
+  const auto set = RuleSet::parse(kSampleRules);
+  EXPECT_TRUE(set.scan("").empty());
+}
+
+TEST(YaraTest, ParseErrorsAreDiagnosed) {
+  EXPECT_THROW(RuleSet::parse("rule {"), std::invalid_argument);
+  EXPECT_THROW(RuleSet::parse("garbage line"), std::invalid_argument);
+  EXPECT_THROW(RuleSet::parse("rule R {\n strings:\n $a = nope\n}"),
+               std::invalid_argument);
+  EXPECT_THROW(RuleSet::parse("rule R {\n strings:\n $a = \"x\"\n"),
+               std::invalid_argument);  // unterminated
+  EXPECT_THROW(RuleSet::parse("rule R {\n strings:\n $a = { zz }\n}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      RuleSet::parse("rule R {\n strings:\n $a = \"x\"\n condition: maybe\n}"),
+      std::invalid_argument);
+  EXPECT_THROW(RuleSet::parse("rule R {\n}"), std::invalid_argument);
+}
+
+TEST(YaraTest, ScanHostFindsInfectedFiles) {
+  sim::Simulation simulation;
+  winsys::ProgramRegistry programs;
+  winsys::Host host(simulation, programs, "ws", winsys::OsVersion::kWin7);
+  host.fs().write_file("c:\\windows\\system32\\mrxcls.sys",
+                       "driver body mrxcls", 0);
+  host.fs().write_file("c:\\users\\benign.txt", "nothing here", 0);
+  const auto set = RuleSet::parse(kSampleRules);
+  const auto hits = set.scan_host(host);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].path.str(), "c:\\windows\\system32\\mrxcls.sys");
+  EXPECT_EQ(hits[0].family, "stuxnet");
+}
+
+TEST(YaraTest, MultipleRulesCanFireOnOneBuffer) {
+  const auto set = RuleSet::parse(kSampleRules);
+  const auto matches = set.scan("~wtr4132 and mssecmgr and FLASK together");
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cyd::analysis

@@ -1,0 +1,310 @@
+#include "cnc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnc/attack_center.hpp"
+#include "cnc/database.hpp"
+#include "cnc/domains.hpp"
+
+namespace cyd::cnc {
+namespace {
+
+class CncServerTest : public ::testing::Test {
+ protected:
+  CncServerTest()
+      : center_(simulation_, 0xabc),
+        server_(simulation_, "cc-0", {"trafficspot.com", "quickmask.net"},
+                center_.upload_key()) {
+    center_.manage(server_);
+  }
+
+  net::HttpRequest get_news(const std::string& client) {
+    net::HttpRequest r;
+    r.host = "trafficspot.com";
+    r.path = "/newsforyou";
+    r.params = {{"cmd", "GET_NEWS"}, {"client", client}, {"type", "FL"}};
+    return r;
+  }
+
+  net::HttpRequest add_entry(const std::string& client,
+                             const std::string& name,
+                             const std::string& content) {
+    net::HttpRequest r;
+    r.host = "trafficspot.com";
+    r.path = "/newsforyou";
+    r.method = "POST";
+    r.params = {{"cmd", "ADD_ENTRY"}, {"client", client}, {"type", "FL"}};
+    r.body = serialize_entry_upload(
+        name, encrypt_for(server_.upload_key(), content));
+    return r;
+  }
+
+  sim::Simulation simulation_;
+  AttackCenter center_;
+  CncServer server_;
+};
+
+TEST_F(CncServerTest, PayloadSerializationRoundTrip) {
+  std::vector<Payload> payloads{{"module-a", "bytes-a"}, {"module-b", "b"}};
+  const auto parsed = parse_payloads(serialize_payloads(payloads));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "module-a");
+  EXPECT_EQ(parsed[1].data, "b");
+  EXPECT_TRUE(parse_payloads("garbage").empty());
+  EXPECT_TRUE(parse_payloads(serialize_payloads({})).empty());
+}
+
+TEST_F(CncServerTest, GetNewsEmptyForUnknownClient) {
+  const auto response = server_.handle(get_news("victim-1"));
+  EXPECT_TRUE(response.ok());
+  EXPECT_TRUE(parse_payloads(response.body).empty());
+  // ...but the client is now registered in the database.
+  EXPECT_EQ(server_.known_clients(), (std::vector<std::string>{"victim-1"}));
+}
+
+TEST_F(CncServerTest, AdsDeliveredOnceToTargetClient) {
+  server_.push_ad("victim-1", {"flask-update-v2", "module bytes"});
+  // Wrong client sees nothing.
+  EXPECT_TRUE(parse_payloads(server_.handle(get_news("other")).body).empty());
+  // Target gets it exactly once.
+  auto first = parse_payloads(server_.handle(get_news("victim-1")).body);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].name, "flask-update-v2");
+  EXPECT_TRUE(
+      parse_payloads(server_.handle(get_news("victim-1")).body).empty());
+}
+
+TEST_F(CncServerTest, NewsBroadcastReachesEveryClientOnce) {
+  server_.push_news({"beetlejuice-v3", "bt module"});
+  for (const std::string client : {"a", "b", "c"}) {
+    auto payloads = parse_payloads(server_.handle(get_news(client)).body);
+    ASSERT_EQ(payloads.size(), 1u) << client;
+    EXPECT_EQ(payloads[0].name, "beetlejuice-v3");
+    EXPECT_TRUE(parse_payloads(server_.handle(get_news(client)).body).empty());
+  }
+}
+
+TEST_F(CncServerTest, NewsPublishedLaterStillDelivered) {
+  server_.handle(get_news("a"));
+  server_.push_news({"late-module", "x"});
+  auto payloads = parse_payloads(server_.handle(get_news("a")).body);
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0].name, "late-module");
+}
+
+TEST_F(CncServerTest, EntryUploadStoredEncrypted) {
+  const auto response =
+      server_.handle(add_entry("victim-1", "docs.7z", "design documents"));
+  EXPECT_TRUE(response.ok());
+  ASSERT_EQ(server_.entries().size(), 1u);
+  const Entry& entry = server_.entries()[0];
+  EXPECT_EQ(entry.client_id, "victim-1");
+  EXPECT_EQ(entry.data_name, "docs.7z");
+  EXPECT_FALSE(entry.retrieved);
+  // Server-side bytes are ciphertext; the loot is opaque to the box itself.
+  EXPECT_EQ(entry.blob.ciphertext.find("design documents"),
+            common::Bytes::npos);
+  EXPECT_GT(server_.total_upload_bytes(), 0u);
+  EXPECT_EQ(server_.upload_count(), 1u);
+}
+
+TEST_F(CncServerTest, MalformedRequestsRejected) {
+  net::HttpRequest r;
+  r.path = "/newsforyou";
+  EXPECT_EQ(server_.handle(r).status, 400);  // no cmd
+  r.params = {{"cmd", "DANCE"}};
+  EXPECT_EQ(server_.handle(r).status, 400);  // unknown cmd
+  r.params = {{"cmd", "GET_NEWS"}};
+  EXPECT_EQ(server_.handle(r).status, 400);  // no client
+  r.path = "/other";
+  EXPECT_EQ(server_.handle(r).status, 404);
+  auto bad_upload = add_entry("v", "x", "y");
+  bad_upload.body = "not an upload";
+  EXPECT_EQ(server_.handle(bad_upload).status, 400);
+}
+
+TEST_F(CncServerTest, AttackCenterCollectsAndDecrypts) {
+  server_.handle(add_entry("victim-1", "cad.dwg", "centrifuge drawing"));
+  server_.handle(add_entry("victim-2", "mail.pst", "inbox archive"));
+  EXPECT_EQ(center_.collect(), 2u);
+  ASSERT_EQ(center_.archive().size(), 2u);
+  EXPECT_EQ(center_.archive()[0].plaintext, "centrifuge drawing");
+  EXPECT_EQ(center_.archive()[1].client_id, "victim-2");
+  EXPECT_EQ(center_.decrypt_failures(), 0u);
+  // Entries are marked retrieved but not yet deleted.
+  EXPECT_EQ(server_.entries().size(), 2u);
+  EXPECT_TRUE(server_.entries()[0].retrieved);
+  // Second collection finds nothing new.
+  EXPECT_EQ(center_.collect(), 0u);
+}
+
+TEST_F(CncServerTest, WrongKeyUploadCountsAsDecryptFailure) {
+  const auto stranger = CncKeyPair::generate(0xdead);
+  net::HttpRequest r = add_entry("v", "x", "y");
+  r.body = serialize_entry_upload(
+      "x", encrypt_for(public_half(stranger), "unreadable"));
+  server_.handle(r);
+  EXPECT_EQ(center_.collect(), 0u);
+  EXPECT_EQ(center_.decrypt_failures(), 1u);
+}
+
+TEST_F(CncServerTest, PurgeDeletesOnlyRetrievedEntries) {
+  server_.handle(add_entry("a", "1", "data1"));
+  center_.collect();
+  server_.handle(add_entry("a", "2", "data2"));  // not yet retrieved
+  EXPECT_EQ(server_.purge_retrieved(0), 1u);
+  ASSERT_EQ(server_.entries().size(), 1u);
+  EXPECT_EQ(server_.entries()[0].data_name, "2");
+}
+
+TEST_F(CncServerTest, PurgeTaskRunsEvery30Minutes) {
+  server_.start_purge_task();
+  server_.handle(add_entry("a", "1", "data1"));
+  center_.collect();
+  EXPECT_EQ(server_.entries().size(), 1u);
+  simulation_.run_for(31 * sim::kMinute);
+  EXPECT_TRUE(server_.entries().empty());
+}
+
+TEST_F(CncServerTest, DatabaseTracksClientContacts) {
+  server_.handle(get_news("victim-1"));
+  server_.handle(get_news("victim-1"));
+  server_.handle(add_entry("victim-1", "x", "y"));
+  const auto rows =
+      server_.db().table("clients").select_where("client_id", "victim-1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].second->at("contacts"), "3");
+  EXPECT_EQ(rows[0].second->at("type"), "FL");
+}
+
+TEST_F(CncServerTest, LogWiperDestroysAccessLog) {
+  server_.handle(get_news("victim-1"));
+  EXPECT_FALSE(server_.access_log().empty());
+  server_.run_log_wiper();
+  EXPECT_TRUE(server_.access_log().empty());
+  EXPECT_TRUE(server_.logs_wiped());
+  // Logging stays off afterwards.
+  server_.handle(get_news("victim-2"));
+  EXPECT_TRUE(server_.access_log().empty());
+}
+
+TEST_F(CncServerTest, SuicideOrderBroadcastsAndWipes) {
+  server_.handle(get_news("victim-1"));
+  center_.order_suicide();
+  EXPECT_TRUE(server_.logs_wiped());
+  auto payloads = parse_payloads(server_.handle(get_news("victim-1")).body);
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0].name, AttackCenter::kSuicidePayload);
+}
+
+TEST_F(CncServerTest, PushCommandToReachesEveryManagedServer) {
+  CncServer second(simulation_, "cc-1", {"webzone.org"}, center_.upload_key());
+  center_.manage(second);
+  center_.push_command_to("victim-9", "jimmy-config", "docx pdf dwg");
+  EXPECT_EQ(server_.pending_ads(), 1u);
+  EXPECT_EQ(second.pending_ads(), 1u);
+}
+
+TEST_F(CncServerTest, CollectionTaskRunsPeriodically) {
+  center_.start_collection_task(sim::kHour);
+  server_.handle(add_entry("a", "doc", "contents"));
+  simulation_.run_for(sim::kHour + sim::kMinute);
+  EXPECT_EQ(center_.archive().size(), 1u);
+  EXPECT_EQ(center_.archived_bytes(), 8u);  // "contents"
+}
+
+TEST_F(CncServerTest, PlatformServesAllFourClientTypes) {
+  // CLIENT_TYPE_FL was only one of four supported clients (§III-B).
+  for (const char* type : {kClientTypeFl, kClientTypeSp, kClientTypeSpe,
+                           kClientTypeIp}) {
+    net::HttpRequest r;
+    r.path = "/newsforyou";
+    r.params = {{"cmd", "GET_NEWS"},
+                {"client", std::string("c-") + type},
+                {"type", type}};
+    EXPECT_TRUE(server_.handle(r).ok());
+  }
+  std::set<std::string> types;
+  for (const auto& [id, row] : server_.db().table("clients").all()) {
+    types.insert(row->at("type"));
+  }
+  EXPECT_EQ(types, (std::set<std::string>{"FL", "IP", "SP", "SPE"}));
+}
+
+TEST_F(CncServerTest, AdsForOneClientInvisibleToOthersForever) {
+  server_.push_ad("target", {"payload", "secret module"});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(parse_payloads(
+                    server_.handle(get_news("bystander-" +
+                                            std::to_string(i)))
+                        .body)
+                    .empty());
+  }
+  EXPECT_EQ(server_.pending_ads(), 1u);
+  EXPECT_EQ(parse_payloads(server_.handle(get_news("target")).body).size(),
+            1u);
+  EXPECT_EQ(server_.pending_ads(), 0u);
+}
+
+TEST(DatabaseTest, InsertSelectErase) {
+  Database db;
+  auto& t = db.table("clients");
+  const auto id1 = t.insert({{"client_id", "a"}, {"type", "FL"}});
+  t.insert({{"client_id", "b"}, {"type", "SP"}});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.select_where("type", "FL").size(), 1u);
+  ASSERT_NE(t.find(id1), nullptr);
+  EXPECT_EQ(t.find(id1)->at("client_id"), "a");
+  EXPECT_TRUE(t.erase(id1));
+  EXPECT_FALSE(t.erase(id1));
+  EXPECT_EQ(t.erase_where("type", "SP"), 1u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(DatabaseTest, WipeDropsEverything) {
+  Database db;
+  db.table("a").insert({{"k", "v"}});
+  db.table("b").insert({{"k", "v"}});
+  EXPECT_EQ(db.total_rows(), 2u);
+  db.wipe();
+  EXPECT_EQ(db.total_rows(), 0u);
+  EXPECT_TRUE(db.wiped());
+  EXPECT_TRUE(db.table_names().empty());
+}
+
+TEST(DomainFleetTest, GeneratesRequestedShape) {
+  sim::Rng rng(1234);
+  const auto fleet = DomainFleet::generate(80, 22, rng);
+  EXPECT_EQ(fleet.size(), 80u);
+  std::set<std::string> servers, domains;
+  for (const auto& r : fleet) {
+    servers.insert(r.server_id);
+    domains.insert(r.domain);
+  }
+  EXPECT_EQ(servers.size(), 22u);
+  EXPECT_EQ(domains.size(), 80u);  // all unique
+  EXPECT_GE(DomainFleet::registrar_count(fleet), 3u);
+  EXPECT_GE(DomainFleet::country_count(fleet), 2u);
+}
+
+TEST(DomainFleetTest, DeterministicForSeed) {
+  sim::Rng a(7), b(7);
+  const auto f1 = DomainFleet::generate(10, 3, a);
+  const auto f2 = DomainFleet::generate(10, 3, b);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(f1[i].domain, f2[i].domain);
+    EXPECT_EQ(f1[i].registrant, f2[i].registrant);
+  }
+}
+
+TEST(DomainFleetTest, DomainsOfFiltersByServer) {
+  sim::Rng rng(9);
+  const auto fleet = DomainFleet::generate(10, 2, rng);
+  const auto d0 = DomainFleet::domains_of(fleet, "cc-0");
+  const auto d1 = DomainFleet::domains_of(fleet, "cc-1");
+  EXPECT_EQ(d0.size() + d1.size(), 10u);
+  EXPECT_EQ(d0.size(), 5u);
+}
+
+}  // namespace
+}  // namespace cyd::cnc

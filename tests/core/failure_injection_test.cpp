@@ -1,0 +1,225 @@
+// Failure injection: the framework must stay well-defined when parts of the
+// world die mid-campaign — bricked hosts with pending timers, seized C&C
+// servers, sinkholed domains, quarantined module files, couriers holding
+// sticks into dead machines.
+
+#include <gtest/gtest.h>
+
+#include "analysis/av.hpp"
+#include "cnc/attack_center.hpp"
+#include "core/scenario.hpp"
+#include "core/user_behavior.hpp"
+#include "malware/flame/flame.hpp"
+#include "malware/shamoon/shamoon.hpp"
+#include "malware/stuxnet/stuxnet.hpp"
+#include "net/stack.hpp"
+
+namespace cyd::core {
+namespace {
+
+TEST(FailureInjectionTest, BrickedHostStopsBeaconingAndSpreading) {
+  World world(0xfa11);
+  world.add_internet_landmarks();
+  FleetSpec spec;
+  spec.count = 4;
+  spec.vulns = {};  // nothing to spread through: isolate the one infection
+  auto fleet = make_office_fleet(world, spec);
+
+  malware::stuxnet::Stuxnet stuxnet(world.sim(), world.network(),
+                                    world.programs(), world.s7_registry(),
+                                    world.tracker());
+  stuxnet.infect(*fleet[0], "manual");
+  world.sim().run_for(sim::days(2));
+  const auto checkins_before = stuxnet.c2().checkins().size();
+
+  // Brick the infected host by hand.
+  auto drv = pe::Builder{}.program("raw").build();
+  fleet[0]->fs().write_file("c:\\d.sys", drv.serialize(), 0);
+  fleet[0]->load_driver("c:\\d.sys", "d", winsys::kCapRawDiskAccess);
+  fleet[0]->raw_overwrite_mbr("X", "test");
+  fleet[0]->reboot();
+  ASSERT_EQ(fleet[0]->state(), winsys::HostState::kUnbootable);
+
+  // All scheduled behaviours keep firing on the clock but must be inert.
+  world.sim().run_for(sim::days(7));
+  EXPECT_EQ(stuxnet.c2().checkins().size(), checkins_before);
+}
+
+TEST(FailureInjectionTest, CourierSurvivesDeadHostsOnRoute) {
+  World world(0xfa12);
+  auto& a = world.add_host("a", winsys::OsVersion::kWin7, "lan");
+  auto& b = world.add_host("b", winsys::OsVersion::kWin7, "lan");
+  auto& stick = world.add_usb("s");
+  schedule_usb_courier(world, stick, {&a, &b}, sim::hours(2));
+
+  // Kill b before the stick first reaches it.
+  auto drv = pe::Builder{}.program("raw").build();
+  b.fs().write_file("c:\\d.sys", drv.serialize(), 0);
+  b.load_driver("c:\\d.sys", "d", winsys::kCapRawDiskAccess);
+  b.raw_overwrite_mbr("X", "t");
+  b.reboot();
+
+  // The courier keeps cycling: skips the dead machine, returns to a.
+  world.sim().run_for(sim::days(2));
+  EXPECT_EQ(stick.plugged_into() == &a || stick.plugged_into() == nullptr,
+            true);
+  EXPECT_FALSE(stick.visited_hosts().contains("b"));
+}
+
+TEST(FailureInjectionTest, CncTakedownLeavesClientsRetryingQuietly) {
+  World world(0xfa13);
+  world.add_internet_landmarks();
+  cnc::AttackCenter center(world.sim(), 1);
+  cnc::CncServer server(world.sim(), "cc", {"evil.example"},
+                        center.upload_key());
+  server.deploy(world.network());
+  center.manage(server);
+
+  malware::flame::FlameConfig config;
+  config.default_domains = {"evil.example"};
+  malware::flame::Flame flame(world.sim(), world.network(),
+                              world.programs(), world.tracker(), config);
+  flame.set_upload_key(center.upload_key());
+
+  FleetSpec spec;
+  spec.count = 2;
+  auto fleet = make_office_fleet(world, spec);
+  flame.infect(*fleet[0], "drop");
+  world.sim().run_for(sim::days(1));
+  auto* inf = malware::flame::Flame::find(*fleet[0]);
+  EXPECT_GT(inf->uploads, 0);
+
+  // Hosting provider pulls the plug.
+  server.undeploy(world.network());
+  const int uploads_at_takedown = inf->uploads;
+  world.sim().run_for(sim::days(3));
+  EXPECT_EQ(inf->uploads, uploads_at_takedown);
+  EXPECT_TRUE(inf->active());  // implant survives, loot piles up locally
+  EXPECT_GT(inf->staged.size(), 0u);
+}
+
+TEST(FailureInjectionTest, SinkholedDomainReceivesOnlyCiphertext) {
+  World world(0xfa14);
+  world.add_internet_landmarks();
+  cnc::AttackCenter center(world.sim(), 1);
+  cnc::CncServer server(world.sim(), "cc", {"evil.example"},
+                        center.upload_key());
+  server.deploy(world.network());
+  center.manage(server);
+
+  malware::flame::FlameConfig config;
+  config.default_domains = {"evil.example"};
+  malware::flame::Flame flame(world.sim(), world.network(),
+                              world.programs(), world.tracker(), config);
+  flame.set_upload_key(center.upload_key());
+  FleetSpec spec;
+  spec.count = 1;
+  auto fleet = make_office_fleet(world, spec);
+  flame.infect(*fleet[0], "drop");
+
+  // Researchers take over the domain with their own collector.
+  std::vector<common::Bytes> sinkholed;
+  world.network().register_internet_service(
+      "evil.example", [&](const net::HttpRequest& request) {
+        if (!request.body.empty()) sinkholed.push_back(request.body);
+        return net::HttpResponse{200,
+                                 cnc::serialize_payloads({})};  // play along
+      });
+  world.sim().run_for(sim::days(2));
+
+  ASSERT_FALSE(sinkholed.empty());
+  // The loot reaches the sinkhole but stays opaque: coordinator-key crypto.
+  for (const auto& body : sinkholed) {
+    EXPECT_EQ(body.find("confidential memo"), std::string::npos);
+  }
+  // And the real server saw nothing after the takeover.
+  EXPECT_EQ(server.upload_count(), 0u);
+}
+
+TEST(FailureInjectionTest, QuarantinedModuleFileDoesNotCrashFlame) {
+  World world(0xfa15);
+  world.add_internet_landmarks();
+  cnc::AttackCenter center(world.sim(), 1);
+  cnc::CncServer server(world.sim(), "cc", {"evil.example"},
+                        center.upload_key());
+  server.deploy(world.network());
+  center.manage(server);
+  malware::flame::FlameConfig config;
+  config.default_domains = {"evil.example"};
+  malware::flame::Flame flame(world.sim(), world.network(),
+                              world.programs(), world.tracker(), config);
+  flame.set_upload_key(center.upload_key());
+  FleetSpec spec;
+  spec.count = 1;
+  auto fleet = make_office_fleet(world, spec);
+  flame.infect(*fleet[0], "drop");
+
+  // AV rips one module file out from under the implant.
+  fleet[0]->fs().delete_file("c:\\windows\\system32\\msglu32.ocx", 0);
+  world.sim().run_for(sim::days(2));  // collections/beacons keep running
+  EXPECT_TRUE(malware::flame::Flame::find(*fleet[0])->active());
+  EXPECT_GT(malware::flame::Flame::find(*fleet[0])->collections_run, 0);
+}
+
+TEST(FailureInjectionTest, PlcStoppedMidAttackFreezesPhysics) {
+  World world(0xfa16);
+  NatanzSpec spec;
+  spec.cascade_count = 1;
+  spec.centrifuges_per_cascade = 8;
+  auto site = build_natanz_site(world, spec);
+  malware::stuxnet::StuxnetConfig config;
+  config.plc_timing.observe_window = sim::hours(2);
+  malware::stuxnet::Stuxnet stuxnet(world.sim(), world.network(),
+                                    world.programs(), world.s7_registry(),
+                                    world.tracker(), config);
+  stuxnet.infect(*site.eng_laptop, "manual");
+  site.step7->connect(site.cascades[0]);
+  world.sim().run_for(sim::days(1));
+  ASSERT_TRUE(malware::stuxnet::Stuxnet::find(*site.eng_laptop)
+                  ->plc_payload_injected);
+
+  // The operator pulls the breaker (maintenance stop) mid-campaign.
+  site.cascades[0]->stop();
+  const double stress_at_stop =
+      site.cascades[0]->bus().drives()[0]->centrifuges()[0].stress();
+  world.sim().run_for(sim::days(30));
+  EXPECT_DOUBLE_EQ(
+      site.cascades[0]->bus().drives()[0]->centrifuges()[0].stress(),
+      stress_at_stop);
+}
+
+TEST(FailureInjectionTest, ShamoonOnAlreadyDeadHostIsNoop) {
+  World world(0xfa17);
+  world.add_internet_landmarks();
+  FleetSpec spec;
+  spec.count = 1;
+  auto fleet = make_office_fleet(world, spec);
+  auto drv = pe::Builder{}.program("raw").build();
+  fleet[0]->fs().write_file("c:\\d.sys", drv.serialize(), 0);
+  fleet[0]->load_driver("c:\\d.sys", "d", winsys::kCapRawDiskAccess);
+  fleet[0]->raw_overwrite_mbr("X", "t");
+  fleet[0]->reboot();
+
+  malware::shamoon::Shamoon shamoon(world.sim(), world.network(),
+                                    world.programs(), world.tracker());
+  EXPECT_FALSE(shamoon.infect(*fleet[0], "manual"));
+  EXPECT_EQ(world.tracker().infected_count("shamoon"), 0u);
+}
+
+TEST(FailureInjectionTest, ExecDuringRebootWindowIsRejected) {
+  World world(0xfa18);
+  auto& host = world.add_host("h", winsys::OsVersion::kWin7, "lan");
+  // Unbootable host refuses USB plugs too.
+  auto drv = pe::Builder{}.program("raw").build();
+  host.fs().write_file("c:\\d.sys", drv.serialize(), 0);
+  host.load_driver("c:\\d.sys", "d", winsys::kCapRawDiskAccess);
+  host.raw_overwrite_mbr("X", "t");
+  host.reboot();
+  auto& stick = world.add_usb("s");
+  EXPECT_FALSE(host.plug_usb(stick));
+  host.explorer_open(winsys::Path("c:"));  // must be a harmless no-op
+  EXPECT_TRUE(host.list_processes(/*include_hidden=*/true).empty());
+}
+
+}  // namespace
+}  // namespace cyd::core

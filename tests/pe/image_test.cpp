@@ -1,0 +1,169 @@
+#include "pe/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace cyd::pe {
+namespace {
+
+Image make_sample_image() {
+  return Builder{}
+      .machine(Machine::kX86)
+      .timestamp(1234567)
+      .program("shamoon.trksvr")
+      .filename("TrkSvr.exe")
+      .version("CompanyName: Distributed Link Tracking Server")
+      .section(".text", "executable code bytes", /*executable=*/true)
+      .section(".data", "mutable data", /*executable=*/false, /*writable=*/true)
+      .resource(112, "PKCS12", "reporter module plaintext")
+      .encrypted_resource(113, "PKCS7", "wiper module plaintext", 0xAB)
+      .import("kernel32.dll", {"CreateFileW", "WriteFile"})
+      .import("srvcli.dll", {"NetShareEnum"})
+      .build();
+}
+
+TEST(PeImageTest, SerializeParseRoundTrip) {
+  const Image original = make_sample_image();
+  const auto bytes = original.serialize();
+  const Image parsed = Image::parse(bytes);
+
+  EXPECT_EQ(parsed.machine, Machine::kX86);
+  EXPECT_EQ(parsed.build_timestamp, 1234567);
+  EXPECT_EQ(parsed.program_id, "shamoon.trksvr");
+  EXPECT_EQ(parsed.original_filename, "TrkSvr.exe");
+  ASSERT_EQ(parsed.sections.size(), 2u);
+  EXPECT_EQ(parsed.sections[0].name, ".text");
+  EXPECT_TRUE(parsed.sections[0].executable);
+  EXPECT_FALSE(parsed.sections[0].writable);
+  EXPECT_TRUE(parsed.sections[1].writable);
+  ASSERT_EQ(parsed.resources.size(), 2u);
+  ASSERT_EQ(parsed.imports.size(), 2u);
+  EXPECT_EQ(parsed.imports[0].functions.size(), 2u);
+  // Round-trip is byte-stable.
+  EXPECT_EQ(parsed.serialize(), bytes);
+}
+
+TEST(PeImageTest, EncryptedResourceStoresCiphertext) {
+  const Image img = make_sample_image();
+  const Resource* res = img.find_resource(113);
+  ASSERT_NE(res, nullptr);
+  EXPECT_TRUE(res->xor_encrypted);
+  EXPECT_NE(res->data, "wiper module plaintext");
+  EXPECT_EQ(res->plaintext(), "wiper module plaintext");
+}
+
+TEST(PeImageTest, PlainResourceIsIdentity) {
+  const Image img = make_sample_image();
+  const Resource* res = img.find_resource(112);
+  ASSERT_NE(res, nullptr);
+  EXPECT_FALSE(res->xor_encrypted);
+  EXPECT_EQ(res->plaintext(), "reporter module plaintext");
+}
+
+TEST(PeImageTest, FindResourceByName) {
+  const Image img = make_sample_image();
+  EXPECT_NE(img.find_resource("PKCS7"), nullptr);
+  EXPECT_EQ(img.find_resource("MISSING"), nullptr);
+}
+
+TEST(PeImageTest, FindSectionByName) {
+  const Image img = make_sample_image();
+  EXPECT_NE(img.find_section(".text"), nullptr);
+  EXPECT_EQ(img.find_section(".rsrc"), nullptr);
+}
+
+TEST(PeImageTest, ImportsFunctionIsCaseInsensitiveOnDll) {
+  const Image img = make_sample_image();
+  EXPECT_TRUE(img.imports_function("KERNEL32.DLL", "CreateFileW"));
+  EXPECT_FALSE(img.imports_function("kernel32.dll", "OpenProcess"));
+  EXPECT_FALSE(img.imports_function("user32.dll", "CreateFileW"));
+}
+
+TEST(PeImageTest, LooksLikePeChecksMagic) {
+  const Image img = make_sample_image();
+  EXPECT_TRUE(Image::looks_like_pe(img.serialize()));
+  EXPECT_FALSE(Image::looks_like_pe("MZ this is not an SPE"));
+  EXPECT_FALSE(Image::looks_like_pe(""));
+}
+
+TEST(PeImageTest, ParseRejectsBadMagic) {
+  EXPECT_THROW(Image::parse("XXXXgarbage"), ParseError);
+}
+
+TEST(PeImageTest, ParseRejectsTruncation) {
+  const auto bytes = make_sample_image().serialize();
+  // Every strict prefix must be rejected, never crash.
+  for (std::size_t len : {std::size_t{4}, std::size_t{10}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    EXPECT_THROW(Image::parse(bytes.substr(0, len)), ParseError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(PeImageTest, ParseRejectsTrailingBytes) {
+  auto bytes = make_sample_image().serialize();
+  bytes += "extra";
+  EXPECT_THROW(Image::parse(bytes), ParseError);
+}
+
+TEST(PeImageTest, SignedRegionExcludesSignature) {
+  Image img = make_sample_image();
+  const auto region_before = img.signed_region();
+  img.signature = "SIGNATURE BLOB";
+  EXPECT_EQ(img.signed_region(), region_before);
+  EXPECT_NE(img.serialize(), region_before);
+}
+
+TEST(PeImageTest, SignatureSurvivesRoundTrip) {
+  Image img = make_sample_image();
+  img.signature = "opaque signature bytes";
+  const Image parsed = Image::parse(img.serialize());
+  EXPECT_EQ(parsed.signature, "opaque signature bytes");
+}
+
+TEST(PeImageTest, PayloadSizeSumsSectionsAndResources) {
+  Image img;
+  img.sections.push_back(Section{".a", "12345", false, false});
+  img.resources.push_back(Resource{1, "r", "123", false, 0});
+  EXPECT_EQ(img.payload_size(), 8u);
+}
+
+TEST(PeImageTest, MachineTypeRoundTrip) {
+  Image img = Builder{}.machine(Machine::kX64).program("p").build();
+  EXPECT_EQ(Image::parse(img.serialize()).machine, Machine::kX64);
+  EXPECT_STREQ(to_string(Machine::kX64), "x64");
+  EXPECT_STREQ(to_string(Machine::kX86), "x86");
+}
+
+TEST(PeImageTest, EmptyImageRoundTrips) {
+  const Image img;
+  const Image parsed = Image::parse(img.serialize());
+  EXPECT_TRUE(parsed.sections.empty());
+  EXPECT_TRUE(parsed.resources.empty());
+  EXPECT_TRUE(parsed.imports.empty());
+}
+
+TEST(PeImageTest, EncryptedResourceEntropyRises) {
+  // XOR with a single key does not change entropy, but packing a low-entropy
+  // payload under a multi-byte key through common::xor_cipher does not
+  // either; what matters for triage is that ciphertext != plaintext and the
+  // dissector can recover plaintext via the recorded key.
+  const Image img = make_sample_image();
+  const Resource* res = img.find_resource(113);
+  ASSERT_NE(res, nullptr);
+  EXPECT_EQ(common::xor_cipher(res->data, res->xor_key), res->plaintext());
+}
+
+TEST(PeImageTest, BinaryPayloadWithNulBytesRoundTrips) {
+  common::Bytes payload;
+  for (int i = 0; i < 512; ++i) payload.push_back(static_cast<char>(i % 256));
+  const Image img =
+      Builder{}.program("p").section(".bin", payload, false).build();
+  const Image parsed = Image::parse(img.serialize());
+  ASSERT_EQ(parsed.sections.size(), 1u);
+  EXPECT_EQ(parsed.sections[0].data, payload);
+}
+
+}  // namespace
+}  // namespace cyd::pe

@@ -1,0 +1,303 @@
+#include "pki/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pki/trust.hpp"
+#include "sim/time.hpp"
+
+namespace cyd::pki {
+namespace {
+
+using sim::kDay;
+
+struct Fixture {
+  sim::TimePoint now = sim::make_date(2010, 6, 1);
+  CertificateAuthority root = CertificateAuthority::create_root(
+      "Test Root CA", HashAlgorithm::kStrong64, 0, now + 3650 * kDay, 777);
+};
+
+TEST(CertificateTest, RootIsSelfSigned) {
+  Fixture f;
+  const auto& cert = f.root.certificate();
+  EXPECT_TRUE(cert.self_signed());
+  EXPECT_EQ(cert.subject, cert.issuer_subject);
+  EXPECT_TRUE(cert.has_usage(kUsageCertSign));
+}
+
+TEST(CertificateTest, IssuedCertChainsToIssuer) {
+  Fixture f;
+  const auto key = KeyPair::generate(1);
+  const auto cert = f.root.issue("Leaf Corp", kUsageCodeSigning,
+                                 HashAlgorithm::kStrong64, 0,
+                                 f.now + 365 * kDay, key);
+  EXPECT_EQ(cert.issuer_serial, f.root.certificate().serial);
+  EXPECT_EQ(cert.issuer_subject, "Test Root CA");
+  EXPECT_EQ(cert.public_key_id, key.key_id);
+  EXPECT_FALSE(cert.self_signed());
+}
+
+TEST(CertificateTest, SerialsAreUniqueAcrossIssuance) {
+  Fixture f;
+  const auto k = KeyPair::generate(2);
+  const auto a = f.root.issue("A", kUsageCodeSigning,
+                              HashAlgorithm::kStrong64, 0, f.now, k);
+  const auto b = f.root.issue("A", kUsageCodeSigning,
+                              HashAlgorithm::kStrong64, 0, f.now, k);
+  EXPECT_NE(a.serial, b.serial);
+}
+
+TEST(CertificateTest, ValidityWindowEnforced) {
+  Fixture f;
+  const auto key = KeyPair::generate(3);
+  const auto cert = f.root.issue("Leaf", kUsageCodeSigning,
+                                 HashAlgorithm::kStrong64, 100 * kDay,
+                                 200 * kDay, key);
+  EXPECT_FALSE(cert.valid_at(99 * kDay));
+  EXPECT_TRUE(cert.valid_at(100 * kDay));
+  EXPECT_TRUE(cert.valid_at(200 * kDay));
+  EXPECT_FALSE(cert.valid_at(200 * kDay + 1));
+}
+
+TEST(CertificateTest, KeyGenerationIsDeterministic) {
+  EXPECT_EQ(KeyPair::generate(42).key_id, KeyPair::generate(42).key_id);
+  EXPECT_NE(KeyPair::generate(42).key_id, KeyPair::generate(43).key_id);
+}
+
+TEST(CertificateTest, TbsBytesChangeWithFields) {
+  Fixture f;
+  const auto key = KeyPair::generate(4);
+  auto cert = f.root.issue("Leaf", kUsageCodeSigning,
+                           HashAlgorithm::kStrong64, 0, f.now, key);
+  const auto tbs1 = cert.tbs_bytes();
+  cert.usage = kUsageLicenseVerification;
+  EXPECT_NE(cert.tbs_bytes(), tbs1);
+}
+
+TEST(CertificateTest, SerializeParseRoundTrip) {
+  Fixture f;
+  const auto key = KeyPair::generate(5);
+  auto cert = f.root.issue("Round Trip Corp",
+                           kUsageCodeSigning | kUsageServerAuth,
+                           HashAlgorithm::kStrong64, 10, 20, key);
+  cert.collision_padding = "padpadpad";
+  const auto parsed = Certificate::parse(cert.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->serial, cert.serial);
+  EXPECT_EQ(parsed->subject, cert.subject);
+  EXPECT_EQ(parsed->usage, cert.usage);
+  EXPECT_EQ(parsed->collision_padding, cert.collision_padding);
+  EXPECT_EQ(parsed->issuer_sig.tbs_digest, cert.issuer_sig.tbs_digest);
+  EXPECT_EQ(parsed->tbs_bytes(), cert.tbs_bytes());
+}
+
+TEST(CertificateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Certificate::parse("not a cert").has_value());
+  EXPECT_FALSE(Certificate::parse("").has_value());
+  Fixture f;
+  const auto key = KeyPair::generate(6);
+  const auto cert = f.root.issue("X", kUsageCodeSigning,
+                                 HashAlgorithm::kStrong64, 0, f.now, key);
+  auto bytes = cert.serialize();
+  EXPECT_FALSE(Certificate::parse(bytes.substr(0, bytes.size() / 2)));
+  bytes += "x";
+  EXPECT_FALSE(Certificate::parse(bytes));
+}
+
+TEST(CertificateTest, DigestAlgorithmsDiffer) {
+  const std::string data = "some tbs bytes";
+  EXPECT_NE(digest(HashAlgorithm::kWeakSum, data),
+            digest(HashAlgorithm::kStrong64, data));
+}
+
+TEST(CertificateTest, WeakDigestIsOrderInsensitive) {
+  // The weakness that makes collisions easy: an additive checksum ignores
+  // byte order entirely.
+  EXPECT_EQ(digest(HashAlgorithm::kWeakSum, "ab"),
+            digest(HashAlgorithm::kWeakSum, "ba"));
+  EXPECT_NE(digest(HashAlgorithm::kStrong64, "ab"),
+            digest(HashAlgorithm::kStrong64, "ba"));
+}
+
+TEST(CertificateTest, UsageToStringRendersBits) {
+  EXPECT_EQ(usage_to_string(kUsageCodeSigning), "code-signing");
+  EXPECT_EQ(usage_to_string(kUsageCodeSigning | kUsageCertSign),
+            "code-signing|cert-sign");
+  EXPECT_EQ(usage_to_string(0), "none");
+}
+
+TEST(CertStoreTest, AddAndFind) {
+  Fixture f;
+  CertStore store;
+  store.add(f.root.certificate());
+  EXPECT_NE(store.find(f.root.certificate().serial), nullptr);
+  EXPECT_EQ(store.find(0xdeadbeef), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(CertStoreTest, AddOverwritesSameSerial) {
+  Fixture f;
+  CertStore store;
+  auto cert = f.root.certificate();
+  store.add(cert);
+  cert.subject = "Renamed";
+  store.add(cert);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find(cert.serial)->subject, "Renamed");
+}
+
+TEST(ChainTest, RootValidatesWhenAnchored) {
+  Fixture f;
+  CertStore store;
+  TrustStore trust;
+  store.add(f.root.certificate());
+  trust.trust_root(f.root.certificate().serial);
+  EXPECT_TRUE(verify_chain(f.root.certificate(), store, trust, f.now).ok());
+}
+
+TEST(ChainTest, RootFailsWhenNotAnchored) {
+  Fixture f;
+  CertStore store;
+  TrustStore trust;
+  const auto result = verify_chain(f.root.certificate(), store, trust, f.now);
+  EXPECT_EQ(result.status, ChainStatus::kUntrustedRoot);
+}
+
+TEST(ChainTest, LeafThroughSubCaValidates) {
+  Fixture f;
+  auto sub = f.root.issue_sub_ca("Sub CA", HashAlgorithm::kStrong64, 0,
+                                 f.now + 3650 * kDay, 778);
+  const auto key = KeyPair::generate(7);
+  const auto leaf = sub.issue("Leaf", kUsageCodeSigning,
+                              HashAlgorithm::kStrong64, 0,
+                              f.now + 365 * kDay, key);
+  CertStore store;
+  store.add(f.root.certificate());
+  store.add(sub.certificate());
+  TrustStore trust;
+  trust.trust_root(f.root.certificate().serial);
+  const auto result = verify_chain(leaf, store, trust, f.now);
+  EXPECT_TRUE(result.ok()) << to_string(result.status);
+  EXPECT_EQ(result.chain_length, 3);
+}
+
+TEST(ChainTest, MissingIntermediateFails) {
+  Fixture f;
+  auto sub = f.root.issue_sub_ca("Sub CA", HashAlgorithm::kStrong64, 0,
+                                 f.now + 3650 * kDay, 779);
+  const auto key = KeyPair::generate(8);
+  const auto leaf = sub.issue("Leaf", kUsageCodeSigning,
+                              HashAlgorithm::kStrong64, 0, f.now, key);
+  CertStore store;
+  store.add(f.root.certificate());  // sub CA missing
+  TrustStore trust;
+  trust.trust_root(f.root.certificate().serial);
+  EXPECT_EQ(verify_chain(leaf, store, trust, f.now).status,
+            ChainStatus::kIncompleteChain);
+}
+
+TEST(ChainTest, TamperedCertFailsSignature) {
+  Fixture f;
+  const auto key = KeyPair::generate(9);
+  auto leaf = f.root.issue("Leaf", kUsageCodeSigning,
+                           HashAlgorithm::kStrong64, 0, f.now, key);
+  leaf.subject = "Tampered Corp";  // mutate after signing
+  CertStore store;
+  store.add(f.root.certificate());
+  TrustStore trust;
+  trust.trust_root(f.root.certificate().serial);
+  EXPECT_EQ(verify_chain(leaf, store, trust, f.now).status,
+            ChainStatus::kBadSignature);
+}
+
+TEST(ChainTest, ExpiredLeafFails) {
+  Fixture f;
+  const auto key = KeyPair::generate(10);
+  const auto leaf = f.root.issue("Leaf", kUsageCodeSigning,
+                                 HashAlgorithm::kStrong64, 0, 10 * kDay, key);
+  CertStore store;
+  store.add(f.root.certificate());
+  TrustStore trust;
+  trust.trust_root(f.root.certificate().serial);
+  EXPECT_EQ(verify_chain(leaf, store, trust, 20 * kDay).status,
+            ChainStatus::kExpired);
+}
+
+TEST(ChainTest, RevokedLeafFails) {
+  Fixture f;
+  const auto key = KeyPair::generate(11);
+  const auto leaf = f.root.issue("Leaf", kUsageCodeSigning,
+                                 HashAlgorithm::kStrong64, 0, f.now, key);
+  CertStore store;
+  store.add(f.root.certificate());
+  TrustStore trust;
+  trust.trust_root(f.root.certificate().serial);
+  trust.mark_untrusted(leaf.serial);
+  EXPECT_EQ(verify_chain(leaf, store, trust, f.now).status,
+            ChainStatus::kRevoked);
+}
+
+TEST(ChainTest, RevokedIntermediateFailsLeaf) {
+  Fixture f;
+  auto sub = f.root.issue_sub_ca("Sub CA", HashAlgorithm::kStrong64, 0,
+                                 f.now + 3650 * kDay, 780);
+  const auto key = KeyPair::generate(12);
+  const auto leaf = sub.issue("Leaf", kUsageCodeSigning,
+                              HashAlgorithm::kStrong64, 0, f.now, key);
+  CertStore store;
+  store.add(f.root.certificate());
+  store.add(sub.certificate());
+  TrustStore trust;
+  trust.trust_root(f.root.certificate().serial);
+  trust.mark_untrusted(sub.certificate().serial);
+  EXPECT_EQ(verify_chain(leaf, store, trust, f.now).status,
+            ChainStatus::kRevoked);
+}
+
+TEST(ChainTest, NonCaIssuerRejected) {
+  Fixture f;
+  const auto leaf_key = KeyPair::generate(13);
+  const auto fake_issuer_key = KeyPair::generate(14);
+  const auto fake_issuer =
+      f.root.issue("Not A CA", kUsageCodeSigning, HashAlgorithm::kStrong64, 0,
+                   f.now, fake_issuer_key);
+  // Hand-craft a leaf claiming the non-CA cert as its issuer.
+  Certificate leaf;
+  leaf.serial = 999;
+  leaf.subject = "Evil Leaf";
+  leaf.issuer_subject = fake_issuer.subject;
+  leaf.issuer_serial = fake_issuer.serial;
+  leaf.public_key_id = leaf_key.key_id;
+  leaf.usage = kUsageCodeSigning;
+  leaf.not_after = f.now + kDay;
+  leaf.issuer_sig = IssuerSignature{
+      digest(HashAlgorithm::kStrong64, leaf.tbs_bytes()),
+      HashAlgorithm::kStrong64, fake_issuer_key.key_id};
+  CertStore store;
+  store.add(f.root.certificate());
+  store.add(fake_issuer);
+  TrustStore trust;
+  trust.trust_root(f.root.certificate().serial);
+  EXPECT_EQ(verify_chain(leaf, store, trust, f.now).status,
+            ChainStatus::kInvalidIssuer);
+}
+
+TEST(ChainTest, WeakHashPolicyRejectsWeakChains) {
+  Fixture f;
+  auto weak_sub = f.root.issue_sub_ca("Weak Sub", HashAlgorithm::kWeakSum, 0,
+                                      f.now + 3650 * kDay, 781);
+  const auto key = KeyPair::generate(15);
+  const auto leaf = weak_sub.issue("Leaf", kUsageCodeSigning,
+                                   HashAlgorithm::kWeakSum, 0, f.now, key);
+  CertStore store;
+  store.add(f.root.certificate());
+  store.add(weak_sub.certificate());
+  TrustStore trust;
+  trust.trust_root(f.root.certificate().serial);
+  EXPECT_TRUE(verify_chain(leaf, store, trust, f.now).ok());
+  trust.set_reject_weak_hash(true);
+  EXPECT_EQ(verify_chain(leaf, store, trust, f.now).status,
+            ChainStatus::kWeakHashRejected);
+}
+
+}  // namespace
+}  // namespace cyd::pki

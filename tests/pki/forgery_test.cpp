@@ -1,0 +1,163 @@
+#include "pki/forgery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pe/image.hpp"
+#include "pki/licensing.hpp"
+#include "pki/signing.hpp"
+#include "pki/trust.hpp"
+
+namespace cyd::pki {
+namespace {
+
+struct FlameFixture {
+  sim::TimePoint now = sim::make_date(2012, 3, 1);
+  MicrosoftPki ms{sim::make_date(2010, 1, 1), 4242};
+  MicrosoftPki::TslsActivation activation =
+      ms.activate_license_server("Contoso Energy");
+  CertStore host_store;
+  TrustStore host_trust;
+
+  FlameFixture() {
+    ms.install_into(host_store);
+    ms.anchor_root(host_trust);
+  }
+};
+
+TEST(ForgeryTest, CollisionSuffixHitsTarget) {
+  const std::string prefix = "arbitrary TBS prefix bytes";
+  for (std::uint64_t target : {0ULL, 1ULL, 0x1234ULL, 0xffffULL}) {
+    const auto suffix =
+        collision_suffix(HashAlgorithm::kWeakSum, prefix, target);
+    ASSERT_TRUE(suffix.has_value());
+    EXPECT_EQ(digest(HashAlgorithm::kWeakSum, prefix + *suffix), target);
+  }
+}
+
+TEST(ForgeryTest, CollisionSuffixUnavailableForStrongHash) {
+  EXPECT_FALSE(
+      collision_suffix(HashAlgorithm::kStrong64, "prefix", 42).has_value());
+}
+
+TEST(ForgeryTest, LicenseCertUsesWeakHash) {
+  FlameFixture f;
+  EXPECT_EQ(f.activation.license_cert.issuer_sig.alg,
+            HashAlgorithm::kWeakSum);
+  EXPECT_TRUE(
+      f.activation.license_cert.has_usage(kUsageLicenseVerification));
+  EXPECT_FALSE(f.activation.license_cert.has_usage(kUsageCodeSigning));
+}
+
+TEST(ForgeryTest, LicenseCertAloneCannotSignCode) {
+  FlameFixture f;
+  auto payload = pe::Builder{}
+                     .program("flame.update")
+                     .section(".text", "fake update", true)
+                     .build();
+  sign_image(payload, f.activation.license_cert, f.activation.license_key);
+  EXPECT_EQ(verify_image(payload, f.host_store, f.host_trust, f.now).status,
+            SignatureStatus::kWrongUsage);
+}
+
+TEST(ForgeryTest, ForgedCertChainsToMicrosoftRoot) {
+  FlameFixture f;
+  const auto forged = forge_code_signing_cert(
+      f.activation.license_cert, "MS", 31337);
+  ASSERT_TRUE(forged.has_value());
+  const auto result =
+      verify_chain(forged->certificate, f.host_store, f.host_trust, f.now);
+  EXPECT_TRUE(result.ok()) << to_string(result.status);
+}
+
+TEST(ForgeryTest, ForgedCertHasCodeSigningUsage) {
+  FlameFixture f;
+  const auto forged =
+      forge_code_signing_cert(f.activation.license_cert, "MS", 31337);
+  ASSERT_TRUE(forged.has_value());
+  EXPECT_TRUE(forged->certificate.has_usage(kUsageCodeSigning));
+  EXPECT_EQ(forged->certificate.issuer_serial,
+            f.activation.license_cert.issuer_serial);
+}
+
+TEST(ForgeryTest, ForgedSignatureAcceptedPreAdvisory) {
+  // The complete Fig. 3 attack: forged cert signs a fake Windows update that
+  // a stock host accepts as genuine Microsoft code.
+  FlameFixture f;
+  const auto forged =
+      forge_code_signing_cert(f.activation.license_cert, "MS", 31337);
+  ASSERT_TRUE(forged.has_value());
+  auto fake_update = pe::Builder{}
+                         .program("flame.mssecmgr")
+                         .filename("WuSetupV.exe")
+                         .section(".text", "flame installer", true)
+                         .build();
+  sign_image(fake_update, forged->certificate, forged->private_key);
+  const auto verdict =
+      verify_image(fake_update, f.host_store, f.host_trust, f.now);
+  EXPECT_TRUE(verdict.valid()) << verdict.describe();
+  EXPECT_EQ(verdict.signer_subject, "MS");
+}
+
+TEST(ForgeryTest, Advisory2718704KillsForgedSignature) {
+  FlameFixture f;
+  const auto forged =
+      forge_code_signing_cert(f.activation.license_cert, "MS", 31337);
+  ASSERT_TRUE(forged.has_value());
+  auto fake_update = pe::Builder{}
+                         .program("flame.mssecmgr")
+                         .section(".text", "flame installer", true)
+                         .build();
+  sign_image(fake_update, forged->certificate, forged->private_key);
+
+  f.ms.apply_advisory_2718704(f.host_trust);
+  const auto verdict =
+      verify_image(fake_update, f.host_store, f.host_trust, f.now);
+  EXPECT_EQ(verdict.status, SignatureStatus::kChainInvalid);
+  EXPECT_EQ(verdict.chain.status, ChainStatus::kRevoked);
+}
+
+TEST(ForgeryTest, AdvisoryDoesNotAffectGenuineUpdates) {
+  FlameFixture f;
+  f.ms.apply_advisory_2718704(f.host_trust);
+  auto update = pe::Builder{}
+                    .program("windows.update")
+                    .section(".text", "genuine update", true)
+                    .build();
+  sign_image(update, f.ms.update_signing_cert(), f.ms.update_signing_key());
+  EXPECT_TRUE(verify_image(update, f.host_store, f.host_trust, f.now).valid());
+}
+
+TEST(ForgeryTest, WeakHashPolicyBlocksForgeryEvenWithoutAdvisory) {
+  FlameFixture f;
+  const auto forged =
+      forge_code_signing_cert(f.activation.license_cert, "MS", 31337);
+  ASSERT_TRUE(forged.has_value());
+  f.host_trust.set_reject_weak_hash(true);
+  const auto result =
+      verify_chain(forged->certificate, f.host_store, f.host_trust, f.now);
+  EXPECT_EQ(result.status, ChainStatus::kWeakHashRejected);
+}
+
+TEST(ForgeryTest, StrongHashVictimCannotBeForged) {
+  FlameFixture f;
+  // A license cert issued under the strong hash resists the attack.
+  auto root = CertificateAuthority::create_root(
+      "Modern Root", HashAlgorithm::kStrong64, 0, f.now + 3650 * sim::kDay,
+      91);
+  const auto key = KeyPair::generate(92);
+  const auto strong_license =
+      root.issue("Org TSLS", kUsageLicenseVerification,
+                 HashAlgorithm::kStrong64, 0, f.now + sim::kDay, key);
+  EXPECT_FALSE(
+      forge_code_signing_cert(strong_license, "MS", 31337).has_value());
+}
+
+TEST(ForgeryTest, EachActivationYieldsDistinctCert) {
+  FlameFixture f;
+  const auto second = f.ms.activate_license_server("Fabrikam Oil");
+  EXPECT_NE(second.license_cert.serial, f.activation.license_cert.serial);
+  EXPECT_NE(second.license_key.key_id, f.activation.license_key.key_id);
+}
+
+}  // namespace
+}  // namespace cyd::pki

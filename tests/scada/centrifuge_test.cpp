@@ -1,0 +1,144 @@
+#include "scada/centrifuge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/profibus.hpp"
+
+namespace cyd::scada {
+namespace {
+
+TEST(CentrifugeTest, NominalSpeedIsHarmless) {
+  Centrifuge rotor("ir1-001");
+  for (int i = 0; i < 24 * 30; ++i) rotor.step(Centrifuge::kNominalHz, sim::kHour);
+  EXPECT_FALSE(rotor.destroyed());
+  EXPECT_DOUBLE_EQ(rotor.stress(), 0.0);
+}
+
+TEST(CentrifugeTest, ParkedRotorIsSafe) {
+  Centrifuge rotor("r");
+  rotor.step(0.0, 365 * sim::kDay);
+  EXPECT_FALSE(rotor.destroyed());
+}
+
+TEST(CentrifugeTest, OverSpeedDestroysWithinHours) {
+  Centrifuge rotor("r");
+  sim::Duration elapsed = 0;
+  while (!rotor.destroyed() && elapsed < 24 * sim::kHour) {
+    rotor.step(1410.0, sim::kMinute);
+    elapsed += sim::kMinute;
+  }
+  EXPECT_TRUE(rotor.destroyed());
+  EXPECT_LT(elapsed, 12 * sim::kHour);
+  EXPECT_GT(elapsed, sim::kHour);  // not instantaneous either
+}
+
+TEST(CentrifugeTest, CrawlSpeedDamagesThroughResonance) {
+  Centrifuge rotor("r");
+  rotor.step(2.0, 30 * sim::kMinute);
+  EXPECT_GT(rotor.stress(), 0.0);
+  EXPECT_FALSE(rotor.destroyed());
+}
+
+TEST(CentrifugeTest, StuxnetSequenceDestroys) {
+  // The paper's attack: 1410 Hz, then 2 Hz, then back to 1064 Hz, repeated.
+  Centrifuge rotor("r");
+  int cycles = 0;
+  while (!rotor.destroyed() && cycles < 20) {
+    rotor.step(1410.0, 15 * sim::kMinute);
+    rotor.step(2.0, 50 * sim::kMinute);
+    rotor.step(1064.0, 27 * sim::kDay);  // weeks of normal cover operation
+    ++cycles;
+  }
+  EXPECT_TRUE(rotor.destroyed());
+  EXPECT_GE(cycles, 2);  // the sabotage is gradual, not a single blow
+}
+
+TEST(CentrifugeTest, DamageRateCurveShape) {
+  EXPECT_DOUBLE_EQ(Centrifuge::damage_rate_per_hour(1064.0), 0.0);
+  EXPECT_DOUBLE_EQ(Centrifuge::damage_rate_per_hour(1210.0), 0.0);
+  EXPECT_GT(Centrifuge::damage_rate_per_hour(1410.0), 0.0);
+  EXPECT_GT(Centrifuge::damage_rate_per_hour(2.0), 0.0);
+  EXPECT_GT(Centrifuge::damage_rate_per_hour(1500.0),
+            Centrifuge::damage_rate_per_hour(1410.0));
+  EXPECT_GT(Centrifuge::damage_rate_per_hour(2.0),
+            Centrifuge::damage_rate_per_hour(200.0));
+  EXPECT_DOUBLE_EQ(Centrifuge::damage_rate_per_hour(0.0), 0.0);
+}
+
+TEST(CentrifugeTest, DestroyedRotorStaysDestroyed) {
+  Centrifuge rotor("r");
+  while (!rotor.destroyed()) rotor.step(1500.0, sim::kHour);
+  const double stress = rotor.stress();
+  rotor.step(1064.0, sim::kDay);
+  EXPECT_TRUE(rotor.destroyed());
+  EXPECT_DOUBLE_EQ(rotor.stress(), stress);
+  EXPECT_DOUBLE_EQ(rotor.frequency(), 0.0);
+}
+
+TEST(ProfibusTest, DrivesCommandCentrifuges) {
+  Profibus bus;
+  auto& drive = bus.add_drive("vfd-1", DriveVendor::kVacon);
+  drive.add_centrifuge("r1");
+  drive.add_centrifuge("r2");
+  drive.set_frequency(1064.0);
+  bus.step(sim::kHour);
+  EXPECT_DOUBLE_EQ(drive.centrifuges()[0].frequency(), 1064.0);
+  EXPECT_DOUBLE_EQ(bus.mean_frequency(), 1064.0);
+  EXPECT_EQ(bus.total_centrifuges(), 2u);
+  EXPECT_EQ(bus.destroyed_centrifuges(), 0u);
+}
+
+TEST(ProfibusTest, VendorFingerprint) {
+  Profibus bus;
+  bus.add_drive("a", DriveVendor::kFararoPaya);
+  EXPECT_TRUE(bus.has_vendor(DriveVendor::kFararoPaya));
+  EXPECT_FALSE(bus.has_vendor(DriveVendor::kVacon));
+  bus.add_drive("b", DriveVendor::kVacon);
+  EXPECT_TRUE(bus.has_vendor(DriveVendor::kVacon));
+}
+
+TEST(ProfibusTest, DestroyedCountAggregates) {
+  Profibus bus;
+  auto& d1 = bus.add_drive("a", DriveVendor::kVacon);
+  auto& d2 = bus.add_drive("b", DriveVendor::kFararoPaya);
+  d1.add_centrifuge("r1");
+  d2.add_centrifuge("r2");
+  d1.set_frequency(1500.0);  // destroy d1's rotor only
+  d2.set_frequency(1064.0);
+  for (int i = 0; i < 48; ++i) bus.step(sim::kHour);
+  EXPECT_EQ(bus.destroyed_centrifuges(), 1u);
+  EXPECT_EQ(d1.destroyed_count(), 1u);
+  EXPECT_EQ(d2.destroyed_count(), 0u);
+}
+
+TEST(ProfibusTest, MeanFrequencyAveragesDrives) {
+  Profibus bus;
+  bus.add_drive("a", DriveVendor::kVacon).set_frequency(1000.0);
+  bus.add_drive("b", DriveVendor::kVacon).set_frequency(1100.0);
+  EXPECT_DOUBLE_EQ(bus.mean_frequency(), 1050.0);
+  Profibus empty;
+  EXPECT_DOUBLE_EQ(empty.mean_frequency(), 0.0);
+}
+
+TEST(ProfibusTest, DefaultCpModelMatchesTarget) {
+  Profibus bus;
+  EXPECT_EQ(bus.cp_model(), Profibus::kTargetCpModel);
+  Profibus other("CP-343-1");
+  EXPECT_EQ(other.cp_model(), "CP-343-1");
+}
+
+class DamageRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DamageRateSweep, SafeBandHasZeroDamage) {
+  // Property: the entire operating band used at Natanz (807-1210 Hz per the
+  // paper's trigger condition) must be damage-free, or normal operation
+  // would wear rotors out and the model would be wrong.
+  EXPECT_DOUBLE_EQ(Centrifuge::damage_rate_per_hour(GetParam()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(OperatingBand, DamageRateSweep,
+                         ::testing::Values(807.0, 900.0, 1000.0, 1064.0,
+                                           1100.0, 1210.0, 1300.0));
+
+}  // namespace
+}  // namespace cyd::scada

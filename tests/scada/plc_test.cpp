@@ -1,0 +1,168 @@
+#include "scada/plc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/safety.hpp"
+#include "scada/step7.hpp"
+
+namespace cyd::scada {
+namespace {
+
+class PlcTest : public ::testing::Test {
+ protected:
+  PlcTest() : plc_(simulation_, "plc-01") {
+    auto& drive = plc_.bus().add_drive("vfd-1", DriveVendor::kVacon);
+    drive.add_centrifuge("r1");
+  }
+
+  sim::Simulation simulation_;
+  Plc plc_;
+};
+
+TEST_F(PlcTest, FactoryBlocksPresent) {
+  EXPECT_TRUE(plc_.has_block("OB1"));
+  EXPECT_TRUE(plc_.has_block("OB35"));
+  EXPECT_GE(plc_.block_names().size(), 3u);
+}
+
+TEST_F(PlcTest, BlockReadWriteDelete) {
+  plc_.write_block("FC1869", "injected stuxnet block");
+  EXPECT_EQ(plc_.read_block("FC1869"), "injected stuxnet block");
+  EXPECT_TRUE(plc_.delete_block("FC1869"));
+  EXPECT_FALSE(plc_.delete_block("FC1869"));
+  EXPECT_FALSE(plc_.read_block("FC1869").has_value());
+}
+
+TEST_F(PlcTest, NormalLogicTracksSetpointAndReportsTruth) {
+  plc_.set_operator_setpoint(1064.0);
+  plc_.scan_once(sim::kMinute);
+  EXPECT_DOUBLE_EQ(plc_.actual_frequency(), 1064.0);
+  EXPECT_DOUBLE_EQ(plc_.reported_frequency(), 1064.0);
+}
+
+TEST_F(PlcTest, PeriodicScanRunsOnClock) {
+  plc_.set_operator_setpoint(1064.0);
+  plc_.start(sim::kMinute);
+  simulation_.run_for(sim::minutes(10));
+  EXPECT_DOUBLE_EQ(plc_.actual_frequency(), 1064.0);
+  plc_.stop();
+  plc_.set_operator_setpoint(500.0);
+  simulation_.run_for(sim::minutes(10));
+  // Stopped PLC no longer scans: frequency unchanged.
+  EXPECT_DOUBLE_EQ(plc_.actual_frequency(), 1064.0);
+}
+
+TEST_F(PlcTest, ScanObserversRunEachCycle) {
+  int observed = 0;
+  plc_.add_scan_observer([&](Plc&, sim::Duration) { ++observed; });
+  plc_.scan_once(sim::kMinute);
+  plc_.scan_once(sim::kMinute);
+  EXPECT_EQ(observed, 2);
+}
+
+TEST_F(PlcTest, SafetyTripsOnHonestOverspeed) {
+  DigitalSafetySystem safety(800.0, 1250.0);
+  safety.attach(plc_);
+  plc_.set_operator_setpoint(1410.0);  // no rootkit: reported == actual
+  for (int i = 0; i < 5; ++i) plc_.scan_once(sim::kMinute);
+  EXPECT_TRUE(safety.tripped());
+  // Drives forced to zero by the safety system.
+  EXPECT_DOUBLE_EQ(plc_.bus().drives()[0]->frequency(), 0.0);
+  EXPECT_FALSE(plc_.bus().drives()[0]->centrifuges()[0].destroyed());
+}
+
+TEST_F(PlcTest, SafetyIgnoresParkedCascade) {
+  DigitalSafetySystem safety(800.0, 1250.0);
+  safety.attach(plc_);
+  plc_.set_operator_setpoint(0.0);
+  for (int i = 0; i < 10; ++i) plc_.scan_once(sim::kMinute);
+  EXPECT_FALSE(safety.tripped());
+}
+
+TEST_F(PlcTest, SafetyNeedsConsecutiveViolations) {
+  DigitalSafetySystem safety(800.0, 1250.0, /*trip_after_scans=*/3);
+  safety.attach(plc_);
+  plc_.set_operator_setpoint(1410.0);
+  plc_.scan_once(sim::kMinute);
+  plc_.scan_once(sim::kMinute);
+  EXPECT_FALSE(safety.tripped());
+  plc_.set_operator_setpoint(1064.0);  // back to normal resets the counter
+  plc_.scan_once(sim::kMinute);
+  plc_.set_operator_setpoint(1410.0);
+  plc_.scan_once(sim::kMinute);
+  plc_.scan_once(sim::kMinute);
+  EXPECT_FALSE(safety.tripped());
+  plc_.scan_once(sim::kMinute);
+  EXPECT_TRUE(safety.tripped());
+}
+
+TEST_F(PlcTest, SafetyBlindToSpoofedReports) {
+  // A logic that abuses the drives while reporting nominal values — the
+  // essence of Stuxnet's deception. The safety system never fires.
+  class SpoofingLogic : public PlcLogic {
+   public:
+    void scan(Plc& plc, sim::Duration) override {
+      for (auto& d : plc.bus().drives()) d->set_frequency(1410.0);
+      plc.report_frequency(1064.0);
+    }
+    std::string name() const override { return "spoof"; }
+  };
+  DigitalSafetySystem safety(800.0, 1250.0);
+  safety.attach(plc_);
+  plc_.set_logic(std::make_unique<SpoofingLogic>());
+  for (int i = 0; i < 100; ++i) plc_.scan_once(sim::kMinute);
+  EXPECT_FALSE(safety.tripped());
+  EXPECT_DOUBLE_EQ(plc_.actual_frequency(), 1410.0);
+  EXPECT_DOUBLE_EQ(plc_.reported_frequency(), 1064.0);
+}
+
+TEST_F(PlcTest, HmiRecordsDeceptionGap) {
+  class SpoofingLogic : public PlcLogic {
+   public:
+    void scan(Plc& plc, sim::Duration) override {
+      for (auto& d : plc.bus().drives()) d->set_frequency(1410.0);
+      plc.report_frequency(1064.0);
+    }
+    std::string name() const override { return "spoof"; }
+  };
+  OperatorHmi hmi;
+  hmi.attach(plc_);
+  plc_.set_logic(std::make_unique<SpoofingLogic>());
+  plc_.scan_once(sim::kMinute);
+  plc_.scan_once(sim::kMinute);
+  ASSERT_EQ(hmi.history().size(), 2u);
+  EXPECT_NEAR(hmi.max_deception(), 346.0, 1.0);  // |1064 - 1410|
+  EXPECT_FALSE(hmi.operator_saw_anomaly(800.0, 1250.0));
+}
+
+TEST_F(PlcTest, HmiSeesHonestAnomaly) {
+  OperatorHmi hmi;
+  hmi.attach(plc_);
+  plc_.set_operator_setpoint(1410.0);
+  plc_.scan_once(sim::kMinute);
+  EXPECT_TRUE(hmi.operator_saw_anomaly(800.0, 1250.0));
+  EXPECT_DOUBLE_EQ(hmi.max_deception(), 0.0);
+}
+
+TEST_F(PlcTest, SafetyResetAfterInspection) {
+  DigitalSafetySystem safety(800.0, 1250.0);
+  safety.attach(plc_);
+  plc_.set_operator_setpoint(1410.0);
+  for (int i = 0; i < 5; ++i) plc_.scan_once(sim::kMinute);
+  ASSERT_TRUE(safety.tripped());
+  EXPECT_GT(safety.violations_seen(), 0);
+  // Maintenance resets the trip; with the setpoint corrected, it stays up.
+  plc_.set_operator_setpoint(1064.0);
+  safety.reset();
+  for (int i = 0; i < 10; ++i) plc_.scan_once(sim::kMinute);
+  EXPECT_FALSE(safety.tripped());
+  EXPECT_DOUBLE_EQ(plc_.actual_frequency(), 1064.0);
+}
+
+TEST_F(PlcTest, SetLogicIgnoresNull) {
+  plc_.set_logic(nullptr);
+  EXPECT_EQ(plc_.logic().name(), "normal-control");
+}
+
+}  // namespace
+}  // namespace cyd::scada

@@ -1,0 +1,167 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace cyd::sim {
+namespace {
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(100, [&, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ClockAdvancesToEventTime) {
+  EventQueue q;
+  TimePoint seen = -1;
+  q.schedule_at(500, [&] { seen = q.now(); });
+  q.run_all();
+  EXPECT_EQ(seen, 500);
+  EXPECT_EQ(q.now(), 500);
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue q;
+  q.schedule_at(100, [] {});
+  q.run_all();
+  TimePoint seen = -1;
+  q.schedule_at(50, [&] { seen = q.now(); });  // in the past
+  q.run_all();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(20, [&] { ++fired; });
+  q.schedule_at(30, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  q.run_until(1000);
+  EXPECT_EQ(q.now(), 1000);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<TimePoint> times;
+  q.schedule_at(10, [&] {
+    times.push_back(q.now());
+    q.schedule_at(q.now() + 5, [&] { times.push_back(q.now()); });
+  });
+  q.run_all();
+  EXPECT_EQ(times, (std::vector<TimePoint>{10, 15}));
+}
+
+TEST(EventQueueTest, CancelledEventDoesNotRun) {
+  EventQueue q;
+  bool ran = false;
+  auto handle = q.schedule_at(10, [&] { ran = true; });
+  handle.cancel();
+  q.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelOneOfMany) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  auto handle = q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(10, [&] { ++fired; });
+  handle.cancel();
+  q.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+}
+
+TEST(SimulationTest, AfterSchedulesRelativeToNow) {
+  Simulation simulation;
+  TimePoint seen = -1;
+  simulation.after(100, [&] {
+    simulation.after(50, [&] { seen = simulation.now(); });
+  });
+  simulation.run_all();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SimulationTest, PeriodicEventFiresRepeatedly) {
+  Simulation simulation;
+  std::vector<TimePoint> fires;
+  simulation.every(minutes(30), [&] { fires.push_back(simulation.now()); });
+  simulation.run_until(hours(2));
+  EXPECT_EQ(fires, (std::vector<TimePoint>{minutes(30), minutes(60),
+                                           minutes(90), minutes(120)}));
+}
+
+TEST(SimulationTest, PeriodicEventHonoursInitialDelay) {
+  Simulation simulation;
+  std::vector<TimePoint> fires;
+  simulation.every(minutes(10), [&] { fires.push_back(simulation.now()); },
+                   minutes(5));
+  simulation.run_until(minutes(26));
+  EXPECT_EQ(fires,
+            (std::vector<TimePoint>{minutes(5), minutes(15), minutes(25)}));
+}
+
+TEST(SimulationTest, CancellingPeriodicStopsSeries) {
+  Simulation simulation;
+  int fires = 0;
+  auto handle = simulation.every(minutes(10), [&] { ++fires; });
+  simulation.run_until(minutes(25));
+  EXPECT_EQ(fires, 2);
+  handle.cancel();
+  simulation.run_until(hours(10));
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(SimulationTest, PeriodicCanCancelItselfFromInside) {
+  Simulation simulation;
+  int fires = 0;
+  EventHandle handle;
+  handle = simulation.every(minutes(1), [&] {
+    if (++fires == 3) handle.cancel();
+  });
+  simulation.run_until(hours(1));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(SimulationTest, LogStampsCurrentTime) {
+  Simulation simulation;
+  simulation.after(seconds(42), [&] {
+    simulation.log(TraceCategory::kSim, "test", "tick");
+  });
+  simulation.run_all();
+  ASSERT_EQ(simulation.trace().size(), 1u);
+  EXPECT_EQ(simulation.trace().events()[0].time, seconds(42));
+}
+
+}  // namespace
+}  // namespace cyd::sim

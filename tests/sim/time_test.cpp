@@ -1,0 +1,65 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyd::sim {
+namespace {
+
+TEST(TimeTest, EpochIsJanuaryFirst2010) {
+  EXPECT_EQ(make_date(2010, 1, 1), 0);
+}
+
+TEST(TimeTest, DateArithmeticAcrossMonths) {
+  EXPECT_EQ(make_date(2010, 2, 1), 31 * kDay);
+  EXPECT_EQ(make_date(2010, 3, 1), (31 + 28) * kDay);
+}
+
+TEST(TimeTest, LeapYear2012HasFebruary29) {
+  const TimePoint feb29 = make_date(2012, 2, 29);
+  const TimePoint mar1 = make_date(2012, 3, 1);
+  EXPECT_EQ(mar1 - feb29, kDay);
+}
+
+TEST(TimeTest, ShamoonKillDateFormatsCorrectly) {
+  // The Saudi Aramco wiper trigger: 2012-08-15 08:08 UTC.
+  const TimePoint kill = make_date(2012, 8, 15, 8, 8);
+  EXPECT_EQ(format_time(kill), "2012-08-15 08:08:00.000");
+}
+
+TEST(TimeTest, HourAndMinuteComponents) {
+  const TimePoint t = make_date(2010, 1, 2, 13, 45);
+  EXPECT_EQ(t, kDay + 13 * kHour + 45 * kMinute);
+}
+
+TEST(TimeTest, FormatIncludesMilliseconds) {
+  EXPECT_EQ(format_time(1234), "2010-01-01 00:00:01.234");
+}
+
+TEST(TimeTest, FormatDurationDays) {
+  EXPECT_EQ(format_duration(2 * kDay + 3 * kHour + 15 * kMinute),
+            "2d 03:15:00");
+}
+
+TEST(TimeTest, FormatDurationSubDay) {
+  EXPECT_EQ(format_duration(90 * kMinute), "01:30:00");
+}
+
+TEST(TimeTest, FormatDurationNegative) {
+  EXPECT_EQ(format_duration(-kHour), "-01:00:00");
+}
+
+TEST(TimeTest, DurationHelpersCompose) {
+  EXPECT_EQ(days(1), hours(24));
+  EXPECT_EQ(hours(1), minutes(60));
+  EXPECT_EQ(minutes(1), seconds(60));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+}
+
+TEST(TimeTest, DatesAreMonotonic) {
+  EXPECT_LT(make_date(2010, 6, 1), make_date(2011, 6, 1));
+  EXPECT_LT(make_date(2012, 8, 15), make_date(2012, 8, 16));
+  EXPECT_LT(make_date(2012, 8, 15, 8, 7), make_date(2012, 8, 15, 8, 8));
+}
+
+}  // namespace
+}  // namespace cyd::sim

@@ -1,0 +1,74 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyd::sim {
+namespace {
+
+TraceLog make_sample_log() {
+  TraceLog log;
+  log.record(10, TraceCategory::kFile, "hostA", "file.write", "C:\\a.txt");
+  log.record(20, TraceCategory::kFile, "hostB", "file.delete", "C:\\b.txt");
+  log.record(30, TraceCategory::kNetwork, "hostA", "dns.lookup", "evil.com");
+  log.record(40, TraceCategory::kDriver, "hostA", "driver.load", "mrxcls.sys");
+  log.record(50, TraceCategory::kFile, "hostA", "file.write", "C:\\c.txt");
+  return log;
+}
+
+TEST(TraceTest, RecordsInOrder) {
+  const auto log = make_sample_log();
+  ASSERT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.events().front().action, "file.write");
+  EXPECT_EQ(log.events().back().detail, "C:\\c.txt");
+}
+
+TEST(TraceTest, ByCategoryFilters) {
+  const auto log = make_sample_log();
+  EXPECT_EQ(log.by_category(TraceCategory::kFile).size(), 3u);
+  EXPECT_EQ(log.by_category(TraceCategory::kNetwork).size(), 1u);
+  EXPECT_EQ(log.by_category(TraceCategory::kCnc).size(), 0u);
+}
+
+TEST(TraceTest, ByActionFilters) {
+  const auto log = make_sample_log();
+  EXPECT_EQ(log.by_action("file.write").size(), 2u);
+  EXPECT_EQ(log.count_action("file.write"), 2u);
+  EXPECT_EQ(log.count_action("nonexistent"), 0u);
+}
+
+TEST(TraceTest, ByActorFilters) {
+  const auto log = make_sample_log();
+  EXPECT_EQ(log.by_actor("hostA").size(), 4u);
+  EXPECT_EQ(log.by_actor("hostB").size(), 1u);
+}
+
+TEST(TraceTest, QueryWithCompoundPredicate) {
+  const auto log = make_sample_log();
+  const auto results = log.query([](const TraceEvent& e) {
+    return e.actor == "hostA" && e.category == TraceCategory::kFile;
+  });
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST(TraceTest, ClearEmptiesLog) {
+  auto log = make_sample_log();
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceTest, RenderTailLimitsLines) {
+  const auto log = make_sample_log();
+  const auto tail = log.render_tail(2);
+  EXPECT_EQ(tail.find("a.txt"), std::string::npos);
+  EXPECT_NE(tail.find("c.txt"), std::string::npos);
+  EXPECT_NE(tail.find("mrxcls.sys"), std::string::npos);
+}
+
+TEST(TraceTest, CategoryNamesRoundTrip) {
+  EXPECT_STREQ(to_string(TraceCategory::kScada), "scada");
+  EXPECT_STREQ(to_string(TraceCategory::kMalware), "malware");
+  EXPECT_STREQ(to_string(TraceCategory::kSecurity), "security");
+}
+
+}  // namespace
+}  // namespace cyd::sim

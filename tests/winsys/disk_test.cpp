@@ -1,0 +1,53 @@
+#include "winsys/disk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyd::winsys {
+namespace {
+
+TEST(DiskTest, FactoryStateIsBootable) {
+  Disk disk;
+  EXPECT_TRUE(disk.mbr_intact());
+  EXPECT_TRUE(disk.active_partition_intact());
+  ASSERT_EQ(disk.partitions().size(), 2u);
+  EXPECT_TRUE(disk.partitions()[0].active);
+  EXPECT_FALSE(disk.partitions()[1].active);
+}
+
+TEST(DiskTest, MbrOverwriteDetected) {
+  Disk disk;
+  disk.overwrite_mbr(common::Bytes(512, '\0'));
+  EXPECT_FALSE(disk.mbr_intact());
+  // Restoring the exact boot code repairs it (re-imaging).
+  disk.overwrite_mbr(Disk::valid_boot_code());
+  EXPECT_TRUE(disk.mbr_intact());
+}
+
+TEST(DiskTest, ActivePartitionLookup) {
+  Disk disk;
+  Partition* active = disk.active_partition();
+  ASSERT_NE(active, nullptr);
+  EXPECT_EQ(active->name, "system");
+  active->boot_sector = "garbage";
+  EXPECT_FALSE(disk.active_partition_intact());
+}
+
+TEST(DiskTest, RawSectorsAreSparse) {
+  Disk disk;
+  EXPECT_EQ(disk.read_sector(100), nullptr);
+  disk.write_sector(100, "sector payload");
+  disk.write_sector(7, "early sector");
+  ASSERT_NE(disk.read_sector(100), nullptr);
+  EXPECT_EQ(*disk.read_sector(100), "sector payload");
+  EXPECT_EQ(disk.raw_write_count(), 2u);
+}
+
+TEST(DiskTest, NoActivePartitionMeansNotIntact) {
+  Disk disk;
+  for (auto& p : disk.partitions()) p.active = false;
+  EXPECT_EQ(disk.active_partition(), nullptr);
+  EXPECT_FALSE(disk.active_partition_intact());
+}
+
+}  // namespace
+}  // namespace cyd::winsys

@@ -1,0 +1,208 @@
+#include "winsys/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyd::winsys {
+namespace {
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  FileSystemTest() { fs_.add_volume('c'); }
+  FileSystem fs_;
+};
+
+TEST_F(FileSystemTest, WriteCreatesParentsAndReadsBack) {
+  EXPECT_TRUE(fs_.write_file("c:\\users\\eng\\report.docx", "secret", 100));
+  EXPECT_TRUE(fs_.is_dir("c:\\users\\eng"));
+  EXPECT_TRUE(fs_.is_file("c:\\users\\eng\\report.docx"));
+  EXPECT_EQ(fs_.read_file("c:\\users\\eng\\report.docx"), "secret");
+}
+
+TEST_F(FileSystemTest, ReadMissingReturnsNullopt) {
+  EXPECT_FALSE(fs_.read_file("c:\\nope.txt").has_value());
+}
+
+TEST_F(FileSystemTest, WriteToUnknownVolumeFails) {
+  EXPECT_FALSE(fs_.write_file("z:\\x.txt", "data", 0));
+}
+
+TEST_F(FileSystemTest, OverwriteBumpsCountAndTimestamps) {
+  fs_.write_file("c:\\a.txt", "v1", 10);
+  fs_.write_file("c:\\a.txt", "v2", 20);
+  const FileNode* node = fs_.stat("c:\\a.txt");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->data, "v2");
+  EXPECT_EQ(node->created, 10);
+  EXPECT_EQ(node->modified, 20);
+  EXPECT_EQ(node->overwrite_count, 1);
+}
+
+TEST_F(FileSystemTest, ReadonlyFileResistsOverwrite) {
+  FileAttr attr;
+  attr.readonly = true;
+  fs_.write_file("c:\\locked.sys", "original", 0, attr);
+  EXPECT_FALSE(fs_.write_file("c:\\locked.sys", "evil", 5));
+  EXPECT_EQ(fs_.read_file("c:\\locked.sys"), "original");
+}
+
+TEST_F(FileSystemTest, CannotWriteOverDirectory) {
+  fs_.mkdirs("c:\\windows");
+  EXPECT_FALSE(fs_.write_file("c:\\windows", "data", 0));
+}
+
+TEST_F(FileSystemTest, CannotMkdirOverFile) {
+  fs_.write_file("c:\\file", "x", 0);
+  EXPECT_FALSE(fs_.mkdirs("c:\\file\\sub"));
+}
+
+TEST_F(FileSystemTest, DeleteLeavesRecoverableTombstone) {
+  fs_.write_file("c:\\docs\\plan.docx", "the plan", 100);
+  EXPECT_TRUE(fs_.delete_file("c:\\docs\\plan.docx", 200));
+  EXPECT_FALSE(fs_.is_file("c:\\docs\\plan.docx"));
+  const auto& stones = fs_.volume('c')->tombstones();
+  ASSERT_EQ(stones.size(), 1u);
+  EXPECT_EQ(stones[0].rel_path, "docs\\plan.docx");
+  EXPECT_EQ(stones[0].data, "the plan");
+  EXPECT_FALSE(stones[0].shredded);
+  EXPECT_EQ(stones[0].deleted_at, 200);
+}
+
+TEST_F(FileSystemTest, ShredLeavesNothing) {
+  fs_.write_file("c:\\evidence.log", "who did it", 100);
+  EXPECT_TRUE(fs_.delete_file("c:\\evidence.log", 200, /*shred=*/true));
+  const auto& stones = fs_.volume('c')->tombstones();
+  ASSERT_EQ(stones.size(), 1u);
+  EXPECT_TRUE(stones[0].shredded);
+  EXPECT_TRUE(stones[0].data.empty());
+}
+
+TEST_F(FileSystemTest, DeleteMissingFails) {
+  EXPECT_FALSE(fs_.delete_file("c:\\ghost", 0));
+}
+
+TEST_F(FileSystemTest, DeleteTreeRemovesFilesAndDirs) {
+  fs_.write_file("c:\\proj\\a.txt", "1", 0);
+  fs_.write_file("c:\\proj\\sub\\b.txt", "2", 0);
+  fs_.write_file("c:\\other.txt", "3", 0);
+  EXPECT_EQ(fs_.delete_tree("c:\\proj", 10), 2u);
+  EXPECT_FALSE(fs_.exists("c:\\proj"));
+  EXPECT_FALSE(fs_.exists("c:\\proj\\sub"));
+  EXPECT_TRUE(fs_.is_file("c:\\other.txt"));
+}
+
+TEST_F(FileSystemTest, RenameMovesContent) {
+  fs_.write_file("c:\\windows\\s7otbxdx.dll", "original step7 lib", 5);
+  EXPECT_TRUE(
+      fs_.rename("c:\\windows\\s7otbxdx.dll", "c:\\windows\\s7otbxsx.dll", 9));
+  EXPECT_FALSE(fs_.is_file("c:\\windows\\s7otbxdx.dll"));
+  EXPECT_EQ(fs_.read_file("c:\\windows\\s7otbxsx.dll"), "original step7 lib");
+}
+
+TEST_F(FileSystemTest, RenameRefusesToClobber) {
+  fs_.write_file("c:\\a", "1", 0);
+  fs_.write_file("c:\\b", "2", 0);
+  EXPECT_FALSE(fs_.rename("c:\\a", "c:\\b", 1));
+  EXPECT_EQ(fs_.read_file("c:\\b"), "2");
+}
+
+TEST_F(FileSystemTest, ListDirShowsImmediateChildrenOnly) {
+  fs_.write_file("c:\\dir\\file1", "x", 0);
+  fs_.write_file("c:\\dir\\sub\\file2", "y", 0);
+  fs_.mkdirs("c:\\dir\\emptydir");
+  const auto entries = fs_.list_dir("c:\\dir");
+  EXPECT_EQ(entries,
+            (std::vector<std::string>{"emptydir", "file1", "sub"}));
+}
+
+TEST_F(FileSystemTest, ListRootDir) {
+  fs_.write_file("c:\\top.txt", "x", 0);
+  fs_.mkdirs("c:\\windows");
+  const auto entries = fs_.list_dir("c:");
+  EXPECT_EQ(entries, (std::vector<std::string>{"top.txt", "windows"}));
+}
+
+TEST_F(FileSystemTest, ListMissingDirIsEmpty) {
+  EXPECT_TRUE(fs_.list_dir("c:\\nothere").empty());
+}
+
+TEST_F(FileSystemTest, FindFilesRecursive) {
+  fs_.write_file("c:\\d\\1", "", 0);
+  fs_.write_file("c:\\d\\s\\2", "", 0);
+  fs_.write_file("c:\\e\\3", "", 0);
+  EXPECT_EQ(fs_.find_files("c:\\d").size(), 2u);
+  EXPECT_EQ(fs_.find_files("c:").size(), 3u);
+}
+
+TEST_F(FileSystemTest, MountSharedVolumeSeesSameData) {
+  auto usb_vol = std::make_shared<Volume>();
+  FileSystem host_a, host_b;
+  host_a.add_volume('c');
+  host_b.add_volume('c');
+
+  ASSERT_TRUE(host_a.mount('e', usb_vol));
+  host_a.write_file("e:\\payload.exe", "malware", 10);
+  ASSERT_TRUE(host_a.unmount('e'));
+
+  // Same stick, different letter on the second host.
+  ASSERT_TRUE(host_b.mount('f', usb_vol));
+  EXPECT_EQ(host_b.read_file("f:\\payload.exe"), "malware");
+}
+
+TEST_F(FileSystemTest, MountRejectsTakenLetter) {
+  auto vol = std::make_shared<Volume>();
+  EXPECT_FALSE(fs_.mount('c', vol));
+}
+
+TEST_F(FileSystemTest, UnmountOnlyRemovable) {
+  EXPECT_FALSE(fs_.unmount('c'));
+  auto vol = std::make_shared<Volume>();
+  fs_.mount('e', vol);
+  EXPECT_TRUE(fs_.unmount('e'));
+  EXPECT_FALSE(fs_.unmount('e'));
+}
+
+TEST_F(FileSystemTest, FreeLetterSkipsTaken) {
+  EXPECT_EQ(fs_.free_letter(), 'd');
+  fs_.mount('d', std::make_shared<Volume>());
+  EXPECT_EQ(fs_.free_letter(), 'e');
+}
+
+TEST_F(FileSystemTest, ObserverSeesWrites) {
+  std::vector<std::string> seen;
+  fs_.add_observer([&](const FsEvent& e) {
+    if (e.kind == FsEvent::Kind::kWrite) seen.push_back(e.path.str());
+  });
+  fs_.write_file("c:\\x", "1", 0);
+  fs_.write_file("c:\\y", "2", 0);
+  EXPECT_EQ(seen, (std::vector<std::string>{"c:\\x", "c:\\y"}));
+}
+
+TEST_F(FileSystemTest, ObserverSeesDeletes) {
+  int deletes = 0;
+  fs_.add_observer([&](const FsEvent& e) {
+    if (e.kind == FsEvent::Kind::kDelete) ++deletes;
+  });
+  fs_.write_file("c:\\x", "1", 0);
+  fs_.delete_file("c:\\x", 1);
+  EXPECT_EQ(deletes, 1);
+}
+
+TEST_F(FileSystemTest, UsedBytesSumsFileSizes) {
+  fs_.write_file("c:\\a", "12345", 0);
+  fs_.write_file("c:\\b", "123", 0);
+  EXPECT_EQ(fs_.volume('c')->used_bytes(), 8u);
+}
+
+TEST_F(FileSystemTest, HiddenAttributePersists) {
+  FileAttr attr;
+  attr.hidden = true;
+  attr.system = true;
+  fs_.write_file("c:\\secret.db", "flame hidden database", 0, attr);
+  const FileNode* node = fs_.stat("c:\\secret.db");
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->attr.hidden);
+  EXPECT_TRUE(node->attr.system);
+}
+
+}  // namespace
+}  // namespace cyd::winsys

@@ -1,0 +1,74 @@
+#include "winsys/path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyd::winsys {
+namespace {
+
+TEST(PathTest, CanonicalizesCaseAndSlashes) {
+  EXPECT_EQ(Path("C:/Windows/System32").str(), "c:\\windows\\system32");
+  EXPECT_EQ(Path("C:\\WINDOWS\\\\system32\\").str(), "c:\\windows\\system32");
+}
+
+TEST(PathTest, EqualityIsCaseInsensitive) {
+  EXPECT_EQ(Path("C:\\Windows\\S7OTBXDX.DLL"),
+            Path("c:/windows/s7otbxdx.dll"));
+}
+
+TEST(PathTest, DriveLetterExtraction) {
+  EXPECT_EQ(Path("C:\\x").drive(), 'c');
+  EXPECT_EQ(Path("e:").drive(), 'e');
+  EXPECT_EQ(Path("relative\\path").drive(), '\0');
+}
+
+TEST(PathTest, RootDetection) {
+  EXPECT_TRUE(Path("C:").is_root());
+  EXPECT_TRUE(Path("C:\\").is_root());
+  EXPECT_FALSE(Path("C:\\x").is_root());
+  EXPECT_FALSE(Path("").is_root());
+}
+
+TEST(PathTest, ParentWalksUp) {
+  EXPECT_EQ(Path("c:\\a\\b\\c").parent(), Path("c:\\a\\b"));
+  EXPECT_EQ(Path("c:\\a").parent(), Path("c:"));
+  EXPECT_EQ(Path("c:").parent(), Path("c:"));
+}
+
+TEST(PathTest, FilenameAndExtension) {
+  const Path p("C:\\Windows\\system32\\TrkSvr.exe");
+  EXPECT_EQ(p.filename(), "trksvr.exe");
+  EXPECT_EQ(p.extension(), "exe");
+  EXPECT_EQ(Path("c:\\noext").extension(), "");
+  EXPECT_EQ(Path("c:").filename(), "");
+  EXPECT_EQ(Path("c:\\dir.d\\file").extension(), "");
+}
+
+TEST(PathTest, JoinComposes) {
+  EXPECT_EQ(Path("c:").join("Windows").join("system32"),
+            Path("c:\\windows\\system32"));
+  EXPECT_EQ(Path("c:\\a").join("b\\c"), Path("c:\\a\\b\\c"));
+  EXPECT_EQ(Path("c:\\a").join(""), Path("c:\\a"));
+}
+
+TEST(PathTest, ComponentsBelowRoot) {
+  const auto comps = Path("c:\\users\\eng\\docs\\plan.docx").components();
+  ASSERT_EQ(comps.size(), 4u);
+  EXPECT_EQ(comps[0], "users");
+  EXPECT_EQ(comps[3], "plan.docx");
+  EXPECT_TRUE(Path("c:").components().empty());
+}
+
+TEST(PathTest, IsWithin) {
+  EXPECT_TRUE(Path("c:\\a\\b\\c").is_within(Path("c:\\a")));
+  EXPECT_TRUE(Path("c:\\a").is_within(Path("c:\\a")));
+  EXPECT_FALSE(Path("c:\\ab").is_within(Path("c:\\a")));
+  EXPECT_FALSE(Path("d:\\a\\b").is_within(Path("c:\\a")));
+  EXPECT_TRUE(Path("c:\\a\\b").is_within(Path("c:")));
+}
+
+TEST(PathTest, OrderingIsDefined) {
+  EXPECT_LT(Path("c:\\a"), Path("c:\\b"));
+}
+
+}  // namespace
+}  // namespace cyd::winsys

@@ -1,0 +1,88 @@
+#include "winsys/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cyd::winsys {
+namespace {
+
+TEST(RegistryTest, SetAndGetString) {
+  Registry reg;
+  reg.set("HKLM\\System\\Services\\TrkSvr", "ImagePath",
+          std::string("c:\\windows\\system32\\trksvr.exe"));
+  EXPECT_EQ(reg.get_string("hklm\\system\\services\\trksvr", "imagepath"),
+            "c:\\windows\\system32\\trksvr.exe");
+}
+
+TEST(RegistryTest, SetAndGetDword) {
+  Registry reg;
+  reg.set("HKLM\\Policies", "AutorunDisabled", std::uint32_t{1});
+  EXPECT_EQ(reg.get_dword("hklm\\policies", "autorundisabled"), 1u);
+}
+
+TEST(RegistryTest, TypeMismatchReturnsNullopt) {
+  Registry reg;
+  reg.set("k", "v", std::uint32_t{5});
+  EXPECT_FALSE(reg.get_string("k", "v").has_value());
+  reg.set("k", "s", std::string("text"));
+  EXPECT_FALSE(reg.get_dword("k", "s").has_value());
+}
+
+TEST(RegistryTest, MissingKeyOrValue) {
+  Registry reg;
+  EXPECT_FALSE(reg.get("nokey", "novalue").has_value());
+  reg.set("key", "a", std::string("x"));
+  EXPECT_FALSE(reg.get("key", "b").has_value());
+}
+
+TEST(RegistryTest, KeysAreCaseInsensitive) {
+  Registry reg;
+  reg.set("HKLM\\Software\\Foo", "Bar", std::string("1"));
+  EXPECT_TRUE(reg.key_exists("hklm\\software\\foo"));
+  EXPECT_TRUE(reg.key_exists("HKLM/SOFTWARE/FOO"));
+}
+
+TEST(RegistryTest, RemoveValue) {
+  Registry reg;
+  reg.set("k", "a", std::string("1"));
+  reg.set("k", "b", std::string("2"));
+  EXPECT_TRUE(reg.remove_value("k", "a"));
+  EXPECT_FALSE(reg.remove_value("k", "a"));
+  EXPECT_FALSE(reg.get("k", "a").has_value());
+  EXPECT_TRUE(reg.get("k", "b").has_value());
+}
+
+TEST(RegistryTest, RemoveKeyIsRecursive) {
+  Registry reg;
+  reg.set("hklm\\services\\evil", "ImagePath", std::string("x"));
+  reg.set("hklm\\services\\evil\\params", "Config", std::string("y"));
+  reg.set("hklm\\services\\evilother", "ImagePath", std::string("z"));
+  EXPECT_EQ(reg.remove_key("hklm\\services\\evil"), 2u);
+  EXPECT_FALSE(reg.key_exists("hklm\\services\\evil"));
+  EXPECT_FALSE(reg.key_exists("hklm\\services\\evil\\params"));
+  EXPECT_TRUE(reg.key_exists("hklm\\services\\evilother"));
+}
+
+TEST(RegistryTest, ValuesEnumeration) {
+  Registry reg;
+  reg.set("k", "b", std::string("2"));
+  reg.set("k", "a", std::string("1"));
+  EXPECT_EQ(reg.values("k"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(reg.values("nokey").empty());
+}
+
+TEST(RegistryTest, AllEntriesSweep) {
+  Registry reg;
+  reg.set("k1", "v1", std::string("a"));
+  reg.set("k2", "v2", std::string("b"));
+  EXPECT_EQ(reg.all_entries().size(), 2u);
+}
+
+TEST(RegistryTest, OverwriteValue) {
+  Registry reg;
+  reg.set("k", "v", std::string("old"));
+  reg.set("k", "v", std::string("new"));
+  EXPECT_EQ(reg.get_string("k", "v"), "new");
+}
+
+}  // namespace
+}  // namespace cyd::winsys
