@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_patch_race.dir/ablation_patch_race.cpp.o"
+  "CMakeFiles/ablation_patch_race.dir/ablation_patch_race.cpp.o.d"
+  "ablation_patch_race"
+  "ablation_patch_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_patch_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

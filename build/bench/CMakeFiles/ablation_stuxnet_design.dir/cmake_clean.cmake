@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stuxnet_design.dir/ablation_stuxnet_design.cpp.o"
+  "CMakeFiles/ablation_stuxnet_design.dir/ablation_stuxnet_design.cpp.o.d"
+  "ablation_stuxnet_design"
+  "ablation_stuxnet_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stuxnet_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribution_matrix.dir/attribution_matrix.cpp.o"
+  "CMakeFiles/attribution_matrix.dir/attribution_matrix.cpp.o.d"
+  "attribution_matrix"
+  "attribution_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribution_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

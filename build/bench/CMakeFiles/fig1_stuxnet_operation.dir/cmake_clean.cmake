@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_stuxnet_operation.dir/fig1_stuxnet_operation.cpp.o"
+  "CMakeFiles/fig1_stuxnet_operation.dir/fig1_stuxnet_operation.cpp.o.d"
+  "fig1_stuxnet_operation"
+  "fig1_stuxnet_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_stuxnet_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

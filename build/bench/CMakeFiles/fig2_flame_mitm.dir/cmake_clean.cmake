@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_flame_mitm.dir/fig2_flame_mitm.cpp.o"
+  "CMakeFiles/fig2_flame_mitm.dir/fig2_flame_mitm.cpp.o.d"
+  "fig2_flame_mitm"
+  "fig2_flame_mitm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_flame_mitm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

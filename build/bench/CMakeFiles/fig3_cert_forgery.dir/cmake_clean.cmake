@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cert_forgery.dir/fig3_cert_forgery.cpp.o"
+  "CMakeFiles/fig3_cert_forgery.dir/fig3_cert_forgery.cpp.o.d"
+  "fig3_cert_forgery"
+  "fig3_cert_forgery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cert_forgery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cnc_platform.dir/fig4_cnc_platform.cpp.o"
+  "CMakeFiles/fig4_cnc_platform.dir/fig4_cnc_platform.cpp.o.d"
+  "fig4_cnc_platform"
+  "fig4_cnc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cnc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cnc_server.dir/fig5_cnc_server.cpp.o"
+  "CMakeFiles/fig5_cnc_server.dir/fig5_cnc_server.cpp.o.d"
+  "fig5_cnc_server"
+  "fig5_cnc_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cnc_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

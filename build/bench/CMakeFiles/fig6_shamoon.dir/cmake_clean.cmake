@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_shamoon.dir/fig6_shamoon.cpp.o"
+  "CMakeFiles/fig6_shamoon.dir/fig6_shamoon.cpp.o.d"
+  "fig6_shamoon"
+  "fig6_shamoon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_shamoon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

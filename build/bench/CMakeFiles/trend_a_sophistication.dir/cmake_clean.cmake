@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_a_sophistication.dir/trend_a_sophistication.cpp.o"
+  "CMakeFiles/trend_a_sophistication.dir/trend_a_sophistication.cpp.o.d"
+  "trend_a_sophistication"
+  "trend_a_sophistication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_a_sophistication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

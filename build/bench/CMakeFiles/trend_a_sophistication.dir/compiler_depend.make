@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trend_a_sophistication.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_b_targeting.dir/trend_b_targeting.cpp.o"
+  "CMakeFiles/trend_b_targeting.dir/trend_b_targeting.cpp.o.d"
+  "trend_b_targeting"
+  "trend_b_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_b_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

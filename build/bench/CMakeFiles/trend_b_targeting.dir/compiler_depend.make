@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trend_b_targeting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_c_certified.dir/trend_c_certified.cpp.o"
+  "CMakeFiles/trend_c_certified.dir/trend_c_certified.cpp.o.d"
+  "trend_c_certified"
+  "trend_c_certified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_c_certified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trend_c_certified.
+# This may be replaced when dependencies are built.

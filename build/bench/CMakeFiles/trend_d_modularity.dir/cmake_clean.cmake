@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_d_modularity.dir/trend_d_modularity.cpp.o"
+  "CMakeFiles/trend_d_modularity.dir/trend_d_modularity.cpp.o.d"
+  "trend_d_modularity"
+  "trend_d_modularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_d_modularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

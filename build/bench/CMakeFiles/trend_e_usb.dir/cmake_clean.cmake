@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_e_usb.dir/trend_e_usb.cpp.o"
+  "CMakeFiles/trend_e_usb.dir/trend_e_usb.cpp.o.d"
+  "trend_e_usb"
+  "trend_e_usb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_e_usb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_f_suicide.dir/trend_f_suicide.cpp.o"
+  "CMakeFiles/trend_f_suicide.dir/trend_f_suicide.cpp.o.d"
+  "trend_f_suicide"
+  "trend_f_suicide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_f_suicide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

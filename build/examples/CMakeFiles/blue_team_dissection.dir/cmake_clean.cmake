@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blue_team_dissection.dir/blue_team_dissection.cpp.o"
+  "CMakeFiles/blue_team_dissection.dir/blue_team_dissection.cpp.o.d"
+  "blue_team_dissection"
+  "blue_team_dissection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blue_team_dissection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for blue_team_dissection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_timeline.dir/campaign_timeline.cpp.o"
+  "CMakeFiles/campaign_timeline.dir/campaign_timeline.cpp.o.d"
+  "campaign_timeline"
+  "campaign_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

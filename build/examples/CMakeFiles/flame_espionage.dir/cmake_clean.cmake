@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flame_espionage.dir/flame_espionage.cpp.o"
+  "CMakeFiles/flame_espionage.dir/flame_espionage.cpp.o.d"
+  "flame_espionage"
+  "flame_espionage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flame_espionage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

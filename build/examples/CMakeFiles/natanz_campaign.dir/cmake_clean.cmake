@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natanz_campaign.dir/natanz_campaign.cpp.o"
+  "CMakeFiles/natanz_campaign.dir/natanz_campaign.cpp.o.d"
+  "natanz_campaign"
+  "natanz_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natanz_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shamoon_wiper_drill.dir/shamoon_wiper_drill.cpp.o"
+  "CMakeFiles/shamoon_wiper_drill.dir/shamoon_wiper_drill.cpp.o.d"
+  "shamoon_wiper_drill"
+  "shamoon_wiper_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shamoon_wiper_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

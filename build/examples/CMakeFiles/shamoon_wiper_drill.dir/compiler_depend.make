@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shamoon_wiper_drill.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/av.cpp" "src/CMakeFiles/cyberdissect.dir/analysis/av.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/analysis/av.cpp.o.d"
+  "/root/repo/src/analysis/forensics.cpp" "src/CMakeFiles/cyberdissect.dir/analysis/forensics.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/analysis/forensics.cpp.o.d"
+  "/root/repo/src/analysis/ioc.cpp" "src/CMakeFiles/cyberdissect.dir/analysis/ioc.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/analysis/ioc.cpp.o.d"
+  "/root/repo/src/analysis/sandbox.cpp" "src/CMakeFiles/cyberdissect.dir/analysis/sandbox.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/analysis/sandbox.cpp.o.d"
+  "/root/repo/src/analysis/similarity.cpp" "src/CMakeFiles/cyberdissect.dir/analysis/similarity.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/analysis/similarity.cpp.o.d"
+  "/root/repo/src/analysis/static_analysis.cpp" "src/CMakeFiles/cyberdissect.dir/analysis/static_analysis.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/analysis/static_analysis.cpp.o.d"
+  "/root/repo/src/analysis/yara.cpp" "src/CMakeFiles/cyberdissect.dir/analysis/yara.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/analysis/yara.cpp.o.d"
+  "/root/repo/src/cnc/attack_center.cpp" "src/CMakeFiles/cyberdissect.dir/cnc/attack_center.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/cnc/attack_center.cpp.o.d"
+  "/root/repo/src/cnc/crypto.cpp" "src/CMakeFiles/cyberdissect.dir/cnc/crypto.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/cnc/crypto.cpp.o.d"
+  "/root/repo/src/cnc/database.cpp" "src/CMakeFiles/cyberdissect.dir/cnc/database.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/cnc/database.cpp.o.d"
+  "/root/repo/src/cnc/domains.cpp" "src/CMakeFiles/cyberdissect.dir/cnc/domains.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/cnc/domains.cpp.o.d"
+  "/root/repo/src/cnc/server.cpp" "src/CMakeFiles/cyberdissect.dir/cnc/server.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/cnc/server.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/cyberdissect.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/cyberdissect.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/user_behavior.cpp" "src/CMakeFiles/cyberdissect.dir/core/user_behavior.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/core/user_behavior.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/CMakeFiles/cyberdissect.dir/core/world.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/core/world.cpp.o.d"
+  "/root/repo/src/exploits/patching.cpp" "src/CMakeFiles/cyberdissect.dir/exploits/patching.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/exploits/patching.cpp.o.d"
+  "/root/repo/src/exploits/vuln.cpp" "src/CMakeFiles/cyberdissect.dir/exploits/vuln.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/exploits/vuln.cpp.o.d"
+  "/root/repo/src/malware/duqu/duqu.cpp" "src/CMakeFiles/cyberdissect.dir/malware/duqu/duqu.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/malware/duqu/duqu.cpp.o.d"
+  "/root/repo/src/malware/flame/flame.cpp" "src/CMakeFiles/cyberdissect.dir/malware/flame/flame.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/malware/flame/flame.cpp.o.d"
+  "/root/repo/src/malware/flame/lualite.cpp" "src/CMakeFiles/cyberdissect.dir/malware/flame/lualite.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/malware/flame/lualite.cpp.o.d"
+  "/root/repo/src/malware/gauss/gauss.cpp" "src/CMakeFiles/cyberdissect.dir/malware/gauss/gauss.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/malware/gauss/gauss.cpp.o.d"
+  "/root/repo/src/malware/shamoon/shamoon.cpp" "src/CMakeFiles/cyberdissect.dir/malware/shamoon/shamoon.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/malware/shamoon/shamoon.cpp.o.d"
+  "/root/repo/src/malware/stuxnet/c2.cpp" "src/CMakeFiles/cyberdissect.dir/malware/stuxnet/c2.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/malware/stuxnet/c2.cpp.o.d"
+  "/root/repo/src/malware/stuxnet/plc_payload.cpp" "src/CMakeFiles/cyberdissect.dir/malware/stuxnet/plc_payload.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/malware/stuxnet/plc_payload.cpp.o.d"
+  "/root/repo/src/malware/stuxnet/stuxnet.cpp" "src/CMakeFiles/cyberdissect.dir/malware/stuxnet/stuxnet.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/malware/stuxnet/stuxnet.cpp.o.d"
+  "/root/repo/src/malware/tracker.cpp" "src/CMakeFiles/cyberdissect.dir/malware/tracker.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/malware/tracker.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/cyberdissect.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/stack.cpp" "src/CMakeFiles/cyberdissect.dir/net/stack.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/net/stack.cpp.o.d"
+  "/root/repo/src/pe/image.cpp" "src/CMakeFiles/cyberdissect.dir/pe/image.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/pe/image.cpp.o.d"
+  "/root/repo/src/pki/certificate.cpp" "src/CMakeFiles/cyberdissect.dir/pki/certificate.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/pki/certificate.cpp.o.d"
+  "/root/repo/src/pki/forgery.cpp" "src/CMakeFiles/cyberdissect.dir/pki/forgery.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/pki/forgery.cpp.o.d"
+  "/root/repo/src/pki/licensing.cpp" "src/CMakeFiles/cyberdissect.dir/pki/licensing.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/pki/licensing.cpp.o.d"
+  "/root/repo/src/pki/signing.cpp" "src/CMakeFiles/cyberdissect.dir/pki/signing.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/pki/signing.cpp.o.d"
+  "/root/repo/src/pki/trust.cpp" "src/CMakeFiles/cyberdissect.dir/pki/trust.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/pki/trust.cpp.o.d"
+  "/root/repo/src/scada/centrifuge.cpp" "src/CMakeFiles/cyberdissect.dir/scada/centrifuge.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/scada/centrifuge.cpp.o.d"
+  "/root/repo/src/scada/plc.cpp" "src/CMakeFiles/cyberdissect.dir/scada/plc.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/scada/plc.cpp.o.d"
+  "/root/repo/src/scada/profibus.cpp" "src/CMakeFiles/cyberdissect.dir/scada/profibus.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/scada/profibus.cpp.o.d"
+  "/root/repo/src/scada/safety.cpp" "src/CMakeFiles/cyberdissect.dir/scada/safety.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/scada/safety.cpp.o.d"
+  "/root/repo/src/scada/step7.cpp" "src/CMakeFiles/cyberdissect.dir/scada/step7.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/scada/step7.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/cyberdissect.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/cyberdissect.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/cyberdissect.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/CMakeFiles/cyberdissect.dir/sim/time.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/sim/time.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/cyberdissect.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/winsys/disk.cpp" "src/CMakeFiles/cyberdissect.dir/winsys/disk.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/winsys/disk.cpp.o.d"
+  "/root/repo/src/winsys/drivers.cpp" "src/CMakeFiles/cyberdissect.dir/winsys/drivers.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/winsys/drivers.cpp.o.d"
+  "/root/repo/src/winsys/filesystem.cpp" "src/CMakeFiles/cyberdissect.dir/winsys/filesystem.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/winsys/filesystem.cpp.o.d"
+  "/root/repo/src/winsys/host.cpp" "src/CMakeFiles/cyberdissect.dir/winsys/host.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/winsys/host.cpp.o.d"
+  "/root/repo/src/winsys/path.cpp" "src/CMakeFiles/cyberdissect.dir/winsys/path.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/winsys/path.cpp.o.d"
+  "/root/repo/src/winsys/registry.cpp" "src/CMakeFiles/cyberdissect.dir/winsys/registry.cpp.o" "gcc" "src/CMakeFiles/cyberdissect.dir/winsys/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/av_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/av_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/av_test.cpp.o.d"
+  "/root/repo/tests/analysis/sandbox_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/sandbox_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/sandbox_test.cpp.o.d"
+  "/root/repo/tests/analysis/similarity_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/similarity_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/similarity_test.cpp.o.d"
+  "/root/repo/tests/analysis/static_analysis_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/static_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/static_analysis_test.cpp.o.d"
+  "/root/repo/tests/analysis/yara_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/yara_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/yara_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cyberdissect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

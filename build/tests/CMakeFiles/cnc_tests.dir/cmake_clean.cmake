@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnc_tests.dir/cnc/crypto_test.cpp.o"
+  "CMakeFiles/cnc_tests.dir/cnc/crypto_test.cpp.o.d"
+  "CMakeFiles/cnc_tests.dir/cnc/server_test.cpp.o"
+  "CMakeFiles/cnc_tests.dir/cnc/server_test.cpp.o.d"
+  "cnc_tests"
+  "cnc_tests.pdb"
+  "cnc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_tests.dir/pe/image_test.cpp.o"
+  "CMakeFiles/pe_tests.dir/pe/image_test.cpp.o.d"
+  "CMakeFiles/pe_tests.dir/pe/robustness_test.cpp.o"
+  "CMakeFiles/pe_tests.dir/pe/robustness_test.cpp.o.d"
+  "pe_tests"
+  "pe_tests.pdb"
+  "pe_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pki_tests.dir/pki/certificate_test.cpp.o"
+  "CMakeFiles/pki_tests.dir/pki/certificate_test.cpp.o.d"
+  "CMakeFiles/pki_tests.dir/pki/forgery_test.cpp.o"
+  "CMakeFiles/pki_tests.dir/pki/forgery_test.cpp.o.d"
+  "CMakeFiles/pki_tests.dir/pki/signing_test.cpp.o"
+  "CMakeFiles/pki_tests.dir/pki/signing_test.cpp.o.d"
+  "pki_tests"
+  "pki_tests.pdb"
+  "pki_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pki_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scada_tests.dir/scada/centrifuge_test.cpp.o"
+  "CMakeFiles/scada_tests.dir/scada/centrifuge_test.cpp.o.d"
+  "CMakeFiles/scada_tests.dir/scada/plc_test.cpp.o"
+  "CMakeFiles/scada_tests.dir/scada/plc_test.cpp.o.d"
+  "CMakeFiles/scada_tests.dir/scada/step7_test.cpp.o"
+  "CMakeFiles/scada_tests.dir/scada/step7_test.cpp.o.d"
+  "scada_tests"
+  "scada_tests.pdb"
+  "scada_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scada_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

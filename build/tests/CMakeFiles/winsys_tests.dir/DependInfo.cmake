@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/winsys/disk_test.cpp" "tests/CMakeFiles/winsys_tests.dir/winsys/disk_test.cpp.o" "gcc" "tests/CMakeFiles/winsys_tests.dir/winsys/disk_test.cpp.o.d"
+  "/root/repo/tests/winsys/filesystem_test.cpp" "tests/CMakeFiles/winsys_tests.dir/winsys/filesystem_test.cpp.o" "gcc" "tests/CMakeFiles/winsys_tests.dir/winsys/filesystem_test.cpp.o.d"
+  "/root/repo/tests/winsys/host_test.cpp" "tests/CMakeFiles/winsys_tests.dir/winsys/host_test.cpp.o" "gcc" "tests/CMakeFiles/winsys_tests.dir/winsys/host_test.cpp.o.d"
+  "/root/repo/tests/winsys/path_test.cpp" "tests/CMakeFiles/winsys_tests.dir/winsys/path_test.cpp.o" "gcc" "tests/CMakeFiles/winsys_tests.dir/winsys/path_test.cpp.o.d"
+  "/root/repo/tests/winsys/registry_test.cpp" "tests/CMakeFiles/winsys_tests.dir/winsys/registry_test.cpp.o" "gcc" "tests/CMakeFiles/winsys_tests.dir/winsys/registry_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cyberdissect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winsys_tests.dir/winsys/disk_test.cpp.o"
+  "CMakeFiles/winsys_tests.dir/winsys/disk_test.cpp.o.d"
+  "CMakeFiles/winsys_tests.dir/winsys/filesystem_test.cpp.o"
+  "CMakeFiles/winsys_tests.dir/winsys/filesystem_test.cpp.o.d"
+  "CMakeFiles/winsys_tests.dir/winsys/host_test.cpp.o"
+  "CMakeFiles/winsys_tests.dir/winsys/host_test.cpp.o.d"
+  "CMakeFiles/winsys_tests.dir/winsys/path_test.cpp.o"
+  "CMakeFiles/winsys_tests.dir/winsys/path_test.cpp.o.d"
+  "CMakeFiles/winsys_tests.dir/winsys/registry_test.cpp.o"
+  "CMakeFiles/winsys_tests.dir/winsys/registry_test.cpp.o.d"
+  "winsys_tests"
+  "winsys_tests.pdb"
+  "winsys_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winsys_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

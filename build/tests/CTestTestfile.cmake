@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/pe_tests[1]_include.cmake")
+include("/root/repo/build/tests/winsys_tests[1]_include.cmake")
+include("/root/repo/build/tests/scada_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/malware_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/exploits_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/cnc_tests[1]_include.cmake")
+include("/root/repo/build/tests/pki_tests[1]_include.cmake")
