@@ -10,6 +10,7 @@
 #include "core/user_behavior.hpp"
 #include "exploits/patching.hpp"
 #include "malware/stuxnet/stuxnet.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
@@ -53,18 +54,33 @@ void reproduce() {
       "final reach (60 hosts, 120 days) vs bulletin embargo");
   std::printf("%-24s %-22s %-10s\n", "bulletin ships after",
               "adoption lag (mean)", "infected");
-  for (const auto embargo : {sim::days(0), sim::days(7), sim::days(21),
-                             sim::days(60)}) {
+  // Every (embargo, lag) cell is an independent 120-day campaign: sweep the
+  // whole table at once and print in row order.
+  struct Cell {
+    sim::Duration embargo;
+    sim::Duration lag;
+  };
+  const std::vector<Cell> embargo_cells{{sim::days(0), sim::days(10)},
+                                        {sim::days(7), sim::days(10)},
+                                        {sim::days(21), sim::days(10)},
+                                        {sim::days(60), sim::days(10)}};
+  const std::vector<Cell> lag_cells{{sim::days(7), sim::days(2)},
+                                    {sim::days(7), sim::days(10)},
+                                    {sim::days(7), sim::days(45)}};
+  auto run_cell = [](const Cell& c) { return run(c.embargo, c.lag); };
+  const auto embargo_reach = sim::Sweep::map_items(embargo_cells, run_cell);
+  for (std::size_t i = 0; i < embargo_cells.size(); ++i) {
     std::printf("%-24s %-22s %-10zu\n",
-                sim::format_duration(embargo).c_str(), "10d",
-                run(embargo, sim::days(10)));
+                sim::format_duration(embargo_cells[i].embargo).c_str(), "10d",
+                embargo_reach[i]);
   }
   benchutil::section("patch discipline matters as much as the embargo");
   std::printf("%-24s %-22s %-10s\n", "bulletin ships after",
               "adoption lag (mean)", "infected");
-  for (const auto lag : {sim::days(2), sim::days(10), sim::days(45)}) {
+  const auto lag_reach = sim::Sweep::map_items(lag_cells, run_cell);
+  for (std::size_t i = 0; i < lag_cells.size(); ++i) {
     std::printf("%-24s %-22s %-10zu\n", "7d",
-                sim::format_duration(lag).c_str(), run(sim::days(7), lag));
+                sim::format_duration(lag_cells[i].lag).c_str(), lag_reach[i]);
   }
   std::printf("\nexpected shape: reach grows with the undisclosed window "
               "and with adoption lag; even day-zero disclosure leaves the "

@@ -13,6 +13,7 @@
 #include "bench_util.hpp"
 #include "malware/stuxnet/plc_payload.hpp"
 #include "scada/safety.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
@@ -65,15 +66,19 @@ void reproduce() {
   benchutil::section("(1) attack cadence: cover duration sweep (60 days)");
   std::printf("%-18s %-9s %-11s %-8s\n", "cover period", "attacks",
               "destroyed", "safety");
-  for (const auto cover : {sim::days(3), sim::days(9), sim::days(27),
-                           sim::days(81)}) {
-    malware::stuxnet::AttackTiming timing;
-    timing.observe_window = sim::days(13);
-    timing.cover_duration = cover;
-    const auto result =
-        run_cascade(timing, true, sim::minutes(5), sim::days(60));
+  const std::vector<sim::Duration> covers{sim::days(3), sim::days(9),
+                                          sim::days(27), sim::days(81)};
+  const auto cadence_results =
+      sim::Sweep::map_items(covers, [](sim::Duration cover) {
+        malware::stuxnet::AttackTiming timing;
+        timing.observe_window = sim::days(13);
+        timing.cover_duration = cover;
+        return run_cascade(timing, true, sim::minutes(5), sim::days(60));
+      });
+  for (std::size_t i = 0; i < covers.size(); ++i) {
+    const auto& result = cadence_results[i];
     std::printf("%-18s %-9d %2zu/32      %-8s\n",
-                sim::format_duration(cover).c_str(), result.attacks,
+                sim::format_duration(covers[i]).c_str(), result.attacks,
                 result.destroyed, result.safety_tripped ? "TRIPPED" : "quiet");
   }
 
@@ -83,23 +88,31 @@ void reproduce() {
   malware::stuxnet::AttackTiming timing;
   timing.observe_window = sim::days(13);
   timing.cover_duration = sim::days(27);
-  for (const bool spoof : {true, false}) {
-    const auto result =
-        run_cascade(timing, spoof, sim::minutes(5), sim::days(180));
+  const std::vector<bool> spoofs{true, false};
+  const auto spoof_results =
+      sim::Sweep::map_items(spoofs, [&timing](bool spoof) {
+        return run_cascade(timing, spoof, sim::minutes(5), sim::days(180));
+      });
+  for (std::size_t i = 0; i < spoofs.size(); ++i) {
+    const auto& result = spoof_results[i];
     std::printf("%-26s %-9d %2zu/32      %-8s\n",
-                spoof ? "replayed-normal (Stuxnet)" : "honest reports",
+                spoofs[i] ? "replayed-normal (Stuxnet)" : "honest reports",
                 result.attacks, result.destroyed,
                 result.safety_tripped ? "TRIPPED" : "quiet");
   }
 
   benchutil::section("(3) scan-period discretization (same physics?)");
   std::printf("%-14s %-11s %-9s\n", "scan period", "destroyed", "attacks");
-  for (const auto period : {sim::minutes(1), sim::minutes(5),
-                            sim::minutes(15), sim::minutes(60)}) {
-    const auto result =
-        run_cascade(timing, true, period, sim::days(180));
+  const std::vector<sim::Duration> periods{sim::minutes(1), sim::minutes(5),
+                                           sim::minutes(15), sim::minutes(60)};
+  const auto period_results =
+      sim::Sweep::map_items(periods, [&timing](sim::Duration period) {
+        return run_cascade(timing, true, period, sim::days(180));
+      });
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    const auto& result = period_results[i];
     std::printf("%-14s %2zu/32      %-9d\n",
-                sim::format_duration(period).c_str(), result.destroyed,
+                sim::format_duration(periods[i]).c_str(), result.destroyed,
                 result.attacks);
   }
   std::printf("\nexpected: destruction scales with cadence while stealth "

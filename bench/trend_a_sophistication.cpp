@@ -17,6 +17,7 @@
 #include "bench_util.hpp"
 #include "core/user_behavior.hpp"
 #include "malware/stuxnet/stuxnet.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
@@ -94,12 +95,20 @@ void reproduce() {
       "+ MS10-061 print spooler",
       "+ MS10-092 task-scheduler EoP",
   };
+  // The five arsenals are independent 30-day campaigns: fan them out across
+  // cores and print in arsenal order once all land.
+  const auto outcomes =
+      sim::Sweep::map_items(std::vector<int>{0, 1, 2, 3, 4}, run);
   for (int n = 0; n <= 4; ++n) {
-    const auto outcome = run(n);
+    const auto& outcome = outcomes[static_cast<std::size_t>(n)];
     std::printf("%-8d %-40s %-10zu %-9zu %-8s\n", n, arsenal[n],
                 outcome.infected, outcome.lateral,
                 outcome.reached_airgap ? "REACHED" : "safe");
   }
+  const auto& stats = sim::Sweep::last_stats();
+  std::printf("\n[sweep: %zu runs, %zu workers, %.1f ms wall, %.1f ms cpu]\n",
+              stats.runs.size(), stats.workers, stats.wall_ms,
+              stats.total_run_ms());
   std::printf("\nexpected shape: monotone reach; the LNK 0-day creates the "
               "beachhead, the first EoP crosses the air gap (non-admin "
               "engineer), the spooler 0-day owns the subnet.\n");

@@ -12,10 +12,18 @@
 #include "analysis/av.hpp"
 #include "core/user_behavior.hpp"
 #include "malware/stuxnet/stuxnet.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
 namespace {
+
+struct WeekRow {
+  int week = 0;
+  std::size_t victims = 0;
+  std::size_t collateral = 0;
+  bool sig_published = false;
+};
 
 struct Outcome {
   std::size_t victims = 0;
@@ -23,9 +31,10 @@ struct Outcome {
   std::size_t collateral = 0;       // victims elsewhere
   sim::Duration dwell = -1;         // first infection -> first detection
   std::size_t detections = 0;
+  std::vector<WeekRow> series;      // weekly snapshots, printed by the caller
 };
 
-Outcome run(bool targeted, bool print_series) {
+Outcome run(bool targeted) {
   core::World world(targeted ? 0xb1 : 0xb2);
   world.add_internet_landmarks();
 
@@ -75,25 +84,18 @@ Outcome run(bool targeted, bool print_series) {
   // Patient zero inside the target org either way.
   implant.infect(*energy[0], "spear-phish");
 
-  if (print_series) {
-    std::printf("%-6s %-9s %-12s %-11s\n", "week", "victims", "collateral",
-                "sig-found");
-  }
+  Outcome outcome;
   for (int week = 1; week <= 12; ++week) {
     world.sim().run_for(7 * sim::kDay);
-    if (print_series) {
-      std::size_t inside = 0;
-      for (auto* host : energy) {
-        if (malware::stuxnet::Stuxnet::find(*host) != nullptr) ++inside;
-      }
-      std::printf("%-6d %-9zu %-12zu %-11s\n", week,
-                  world.tracker().infected_count("stuxnet"),
-                  world.tracker().infected_count("stuxnet") - inside,
-                  feed.size() > 0 ? "published" : "no");
+    std::size_t inside = 0;
+    for (auto* host : energy) {
+      if (malware::stuxnet::Stuxnet::find(*host) != nullptr) ++inside;
     }
+    const auto victims = world.tracker().infected_count("stuxnet");
+    outcome.series.push_back(
+        WeekRow{week, victims, victims - inside, feed.size() > 0});
   }
 
-  Outcome outcome;
   outcome.victims = world.tracker().infected_count("stuxnet");
   for (auto* host : energy) {
     if (malware::stuxnet::Stuxnet::find(*host) != nullptr) {
@@ -112,11 +114,28 @@ Outcome run(bool targeted, bool print_series) {
   return outcome;
 }
 
+void print_series(const Outcome& outcome) {
+  std::printf("%-6s %-9s %-12s %-11s\n", "week", "victims", "collateral",
+              "sig-found");
+  for (const auto& row : outcome.series) {
+    std::printf("%-6d %-9zu %-12zu %-11s\n", row.week, row.victims,
+                row.collateral, row.sig_published ? "published" : "no");
+  }
+}
+
 void reproduce() {
+  // The two postures are independent quarters: run them in parallel and
+  // print the collected weekly series afterwards, in posture order.
+  const auto outcomes = sim::Sweep::map_items(
+      std::vector<bool>{false, true},
+      [](bool targeted) { return run(targeted); });
+  const auto& mass = outcomes[0];
+  const auto& targeted = outcomes[1];
+
   benchutil::section("mass posture (spread everywhere, loudly)");
-  const auto mass = run(/*targeted=*/false, /*print_series=*/true);
+  print_series(mass);
   benchutil::section("targeted posture (slow, target org only)");
-  const auto targeted = run(/*targeted=*/true, /*print_series=*/true);
+  print_series(targeted);
 
   benchutil::section("quarter summary");
   std::printf("%-26s %-10s %-12s %-12s %-14s\n", "posture", "victims",
@@ -136,7 +155,7 @@ void reproduce() {
 
 void BM_QuarterCampaign(benchmark::State& state) {
   for (auto _ : state) {
-    auto outcome = run(state.range(0) != 0, false);
+    auto outcome = run(state.range(0) != 0);
     benchmark::DoNotOptimize(outcome);
   }
 }

@@ -9,6 +9,7 @@
 
 #include "bench_util.hpp"
 #include "pki/forgery.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
@@ -20,8 +21,6 @@ struct DriverCase {
 };
 
 void reproduce() {
-  sim::Simulation simulation;
-  winsys::ProgramRegistry programs;
   pki::MicrosoftPki ms(0, 0xc3);
   auto vendor_root = benchutil::SigningIdentity::make(
       "Realtek Semiconductor Corp", 0x2ea1);
@@ -84,29 +83,41 @@ void reproduce() {
   for (const auto& posture : postures) std::printf("| %-22.22s ", posture.label.c_str());
   std::printf("\n");
 
-  for (const auto& driver_case : drivers) {
-    std::printf("%-36s", driver_case.label.c_str());
-    for (const auto& posture : postures) {
-      winsys::Host host(simulation, programs, "probe",
-                        winsys::OsVersion::kWin7);
-      host.set_driver_policy(posture.policy);
-      ms.install_into(host.cert_store());
-      ms.anchor_root(host.trust_store());
-      vendor_root.trust_on(host);
-      eldos.trust_on(host);
-      if (posture.revoke_abused) {
-        host.trust_store().mark_untrusted(vendor_root.cert.serial);
-        ms.apply_advisory_2718704(host.trust_store());
-      }
-      host.trust_store().set_reject_weak_hash(posture.reject_weak_hash);
+  // One parallel run per driver row. Each run builds its own Simulation,
+  // registry and probe hosts; the PKI identities are shared read-only.
+  const auto rows = sim::Sweep::map_items(
+      drivers, [&](const DriverCase& driver_case) {
+        sim::Simulation simulation;
+        winsys::ProgramRegistry programs;
+        std::vector<std::string> verdicts;
+        for (const auto& posture : postures) {
+          winsys::Host host(simulation, programs, "probe",
+                            winsys::OsVersion::kWin7);
+          host.set_driver_policy(posture.policy);
+          ms.install_into(host.cert_store());
+          ms.anchor_root(host.trust_store());
+          vendor_root.trust_on(host);
+          eldos.trust_on(host);
+          if (posture.revoke_abused) {
+            host.trust_store().mark_untrusted(vendor_root.cert.serial);
+            ms.apply_advisory_2718704(host.trust_store());
+          }
+          host.trust_store().set_reject_weak_hash(posture.reject_weak_hash);
 
-      host.fs().write_file("c:\\d.sys", driver_case.image.serialize(), 0);
-      const auto result =
-          host.load_driver("c:\\d.sys", "d", winsys::kCapRawDiskAccess);
-      std::printf("| %-22.22s ",
-                  result == winsys::DriverLoadResult::kLoaded
-                      ? "LOADED"
-                      : to_string(result));
+          host.fs().write_file("c:\\d.sys", driver_case.image.serialize(), 0);
+          const auto result =
+              host.load_driver("c:\\d.sys", "d", winsys::kCapRawDiskAccess);
+          verdicts.emplace_back(result == winsys::DriverLoadResult::kLoaded
+                                    ? "LOADED"
+                                    : to_string(result));
+        }
+        return verdicts;
+      });
+
+  for (std::size_t i = 0; i < drivers.size(); ++i) {
+    std::printf("%-36s", drivers[i].label.c_str());
+    for (const auto& verdict : rows[i]) {
+      std::printf("| %-22.22s ", verdict.c_str());
     }
     std::printf("\n");
   }

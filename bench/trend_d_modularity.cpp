@@ -13,20 +13,28 @@
 #include "analysis/av.hpp"
 #include "cnc/attack_center.hpp"
 #include "malware/flame/flame.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
 namespace {
 
+struct DayRow {
+  int day = 0;
+  std::size_t alive = 0;
+  std::size_t sigs = 0;
+};
+
 struct Outcome {
   std::size_t still_active = 0;     // artifacts alive at day 90
   std::size_t detections = 0;
   sim::Duration dwell = -1;
+  std::vector<DayRow> series;       // 10-day snapshots
 };
 
 enum class Strategy { kStatic, kModular, kPerVictim };
 
-Outcome run(Strategy strategy, bool print) {
+Outcome run(Strategy strategy) {
   core::World world(0xd0 + static_cast<std::uint64_t>(strategy));
   world.add_internet_landmarks();
 
@@ -92,19 +100,16 @@ Outcome run(Strategy strategy, bool print) {
     });
   }
 
-  if (print) std::printf("%-6s %-14s %-12s\n", "day", "alive-files", "sigs");
+  Outcome outcome;
   for (int day = 10; day <= 90; day += 10) {
     world.sim().run_for(10 * sim::kDay);
-    if (print) {
-      std::size_t alive = 0;
-      for (auto* host : fleet) {
-        if (host->fs().is_file("c:\\windows\\system32\\msglu32.ocx")) ++alive;
-      }
-      std::printf("%-6d %-14zu %-12zu\n", day, alive, feed.size());
+    std::size_t alive = 0;
+    for (auto* host : fleet) {
+      if (host->fs().is_file("c:\\windows\\system32\\msglu32.ocx")) ++alive;
     }
+    outcome.series.push_back(DayRow{day, alive, feed.size()});
   }
 
-  Outcome outcome;
   for (auto* host : fleet) {
     if (host->fs().is_file("c:\\windows\\system32\\msglu32.ocx")) {
       ++outcome.still_active;
@@ -120,10 +125,17 @@ Outcome run(Strategy strategy, bool print) {
 void reproduce() {
   const char* labels[] = {"static build", "modular (weekly updates)",
                           "per-victim builds (Duqu-style)"};
-  Outcome outcomes[3];
+  // Three independent 90-day arms races — sweep them across cores.
+  const auto outcomes = sim::Sweep::map_items(
+      std::vector<Strategy>{Strategy::kStatic, Strategy::kModular,
+                            Strategy::kPerVictim},
+      run);
   for (int s = 0; s < 3; ++s) {
     benchutil::section(labels[s]);
-    outcomes[s] = run(static_cast<Strategy>(s), /*print=*/true);
+    std::printf("%-6s %-14s %-12s\n", "day", "alive-files", "sigs");
+    for (const auto& row : outcomes[static_cast<std::size_t>(s)].series) {
+      std::printf("%-6d %-14zu %-12zu\n", row.day, row.alive, row.sigs);
+    }
   }
   benchutil::section("90-day summary");
   std::printf("%-34s %-14s %-12s %-14s\n", "strategy", "alive@day90",
@@ -144,7 +156,7 @@ void reproduce() {
 
 void BM_NinetyDayArmsRace(benchmark::State& state) {
   for (auto _ : state) {
-    auto outcome = run(static_cast<Strategy>(state.range(0)), false);
+    auto outcome = run(static_cast<Strategy>(state.range(0)));
     benchmark::DoNotOptimize(outcome);
   }
 }

@@ -12,6 +12,7 @@
 #include "core/user_behavior.hpp"
 #include "malware/flame/flame.hpp"
 #include "malware/stuxnet/stuxnet.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
@@ -134,13 +135,16 @@ void reproduce() {
       "air-gap crossing vs courier cadence (30-day horizon, LNK vector)");
   std::printf("%-22s %-9s %-16s\n", "stick moves every", "crossed",
               "time-to-cross");
-  for (const auto dwell : {sim::hours(8), sim::days(2), sim::days(7),
-                           sim::days(20), sim::days(40)}) {
-    const auto outcome = crossing_run(dwell);
+  const std::vector<sim::Duration> dwells{sim::hours(8), sim::days(2),
+                                          sim::days(7), sim::days(20),
+                                          sim::days(40)};
+  const auto crossings = sim::Sweep::map_items(dwells, crossing_run);
+  for (std::size_t i = 0; i < dwells.size(); ++i) {
+    const auto& outcome = crossings[i];
     const std::string when = outcome.crossed
                                  ? sim::format_duration(outcome.time_to_cross)
                                  : "-";
-    std::printf("%-22s %-9s %-16s\n", sim::format_duration(dwell).c_str(),
+    std::printf("%-22s %-9s %-16s\n", sim::format_duration(dwells[i]).c_str(),
                 outcome.crossed ? "yes" : "no", when.c_str());
   }
 
@@ -150,22 +154,30 @@ void reproduce() {
     const char* label;
     bool lnk;
     bool autorun;
-  } cases[] = {
+  };
+  const std::vector<Case> cases{
       {"LNK 0-day, autorun hardened (Stuxnet era)", true, false},
       {"no LNK, autorun enabled (pre-2009 worms)", false, true},
       {"both vectors", true, true},
       {"fully patched stick handling", false, false},
   };
-  for (const auto& c : cases) {
-    std::printf("%-42s %-9zu\n", c.label, vector_run(c.lnk, c.autorun).infected);
+  const auto vector_outcomes = sim::Sweep::map_items(
+      cases, [](const Case& c) { return vector_run(c.lnk, c.autorun); });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::printf("%-42s %-9zu\n", cases[i].label, vector_outcomes[i].infected);
   }
 
   benchutil::section("Flame ferry: bytes out of the protected zone (21 days)");
   std::printf("%-22s %-18s\n", "courier cadence", "exfiltrated bytes");
-  for (const auto dwell : {sim::hours(12), sim::days(3), sim::days(10)}) {
-    std::printf("%-22s %-18llu\n", sim::format_duration(dwell).c_str(),
-                static_cast<unsigned long long>(
-                    ferry_run(dwell, sim::days(21))));
+  const std::vector<sim::Duration> ferry_dwells{sim::hours(12), sim::days(3),
+                                                sim::days(10)};
+  const auto ferried = sim::Sweep::map_items(ferry_dwells, [](sim::Duration d) {
+    return ferry_run(d, sim::days(21));
+  });
+  for (std::size_t i = 0; i < ferry_dwells.size(); ++i) {
+    std::printf("%-22s %-18llu\n",
+                sim::format_duration(ferry_dwells[i]).c_str(),
+                static_cast<unsigned long long>(ferried[i]));
   }
   std::printf("\nexpected shape: crossing is a courier-cadence race; the LNK "
               "0-day replaces the closed autorun channel; exfil volume "

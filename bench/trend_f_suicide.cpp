@@ -10,6 +10,7 @@
 #include "analysis/forensics.hpp"
 #include "cnc/attack_center.hpp"
 #include "malware/flame/flame.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
@@ -81,21 +82,21 @@ Evidence run(const Ending& ending) {
 }
 
 void reproduce() {
-  const Ending endings[] = {
+  const std::vector<Ending> endings{
       {"operators abandon everything", false, false, true},
       {"LogWiper on the server only", false, true, false},
       {"SUICIDE broadcast (Flame's ending)", true, true, false},
   };
+  // The three endings are independent 32-day operations; sweep them.
+  const auto results = sim::Sweep::map_items(endings, run);
+
   benchutil::section("victim-side evidence after each ending (8 hosts)");
   std::printf("%-38s %-7s %-11s %-10s %-15s\n", "ending", "live",
               "recovered", "shredded", "recoverability");
-  std::vector<Evidence> results;
-  for (const auto& ending : endings) {
-    const auto evidence = run(ending);
-    std::printf("%-38s %-7zu %-11zu %-10zu %.0f%%\n", ending.label,
-                evidence.live, evidence.recovered, evidence.shredded,
-                100.0 * evidence.recoverability);
-    results.push_back(evidence);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-38s %-7zu %-11zu %-10zu %.0f%%\n", endings[i].label,
+                results[i].live, results[i].recovered, results[i].shredded,
+                100.0 * results[i].recoverability);
   }
 
   benchutil::section("seized C&C server, same three endings");

@@ -5,9 +5,10 @@
 namespace cyd::analysis {
 namespace {
 
-std::string domain_of(const std::string& url) {
+std::string domain_of(std::string_view url) {
   const auto slash = url.find('/');
-  return slash == std::string::npos ? url : url.substr(0, slash);
+  return std::string(
+      url.substr(0, slash == std::string_view::npos ? url.size() : slash));
 }
 
 }  // namespace
@@ -111,24 +112,42 @@ BehaviorReport Sandbox::detonate(const common::Bytes& specimen,
   sim_.run_for(observation);
 
   // --- distil the trace ---
-  const auto& events = sim_.trace().events();
+  // The detonation window is scanned once on interned ids: the host filter
+  // and every action test are integer compares, and strings materialise
+  // only for the handful of matching events.
+  const auto& trace = sim_.trace();
+  const auto& events = trace.events();
+  const auto& pool = trace.pool();
+  const sim::StringId host_id = pool.find(host_->name());
+  const sim::StringId service_install = pool.find("service.install");
+  const sim::StringId driver_load = pool.find("driver.load");
+  const sim::StringId driver_rejected = pool.find("driver.rejected");
+  const sim::StringId mbr_overwrite = pool.find("rawdisk.mbr-overwrite");
+  const sim::StringId partition_overwrite =
+      pool.find("rawdisk.partition-overwrite");
+  const sim::StringId http_internet = pool.find("http.internet");
+  const sim::StringId http_no_route = pool.find("http.no-route");
+  std::map<sim::StringId, std::size_t> action_ids_seen;
   for (std::size_t i = trace_start; i < events.size(); ++i) {
     const auto& event = events[i];
-    if (event.actor != host_->name()) continue;
-    ++report.action_counts[event.action];
-    if (event.action == "service.install") {
-      report.services_installed.push_back(event.detail);
-    } else if (event.action == "driver.load") {
-      report.drivers_loaded.push_back(event.detail);
-    } else if (event.action == "driver.rejected") {
-      report.drivers_rejected.push_back(event.detail);
-    } else if (event.action == "rawdisk.mbr-overwrite" ||
-               event.action == "rawdisk.partition-overwrite") {
+    if (event.actor != host_id) continue;
+    ++action_ids_seen[event.action];
+    if (event.action == service_install) {
+      report.services_installed.emplace_back(trace.detail(event));
+    } else if (event.action == driver_load) {
+      report.drivers_loaded.emplace_back(trace.detail(event));
+    } else if (event.action == driver_rejected) {
+      report.drivers_rejected.emplace_back(trace.detail(event));
+    } else if (event.action == mbr_overwrite ||
+               event.action == partition_overwrite) {
       report.touched_mbr = true;
-    } else if (event.action == "http.internet" ||
-               event.action == "http.no-route") {
-      report.domains_contacted.insert(domain_of(event.detail));
+    } else if (event.action == http_internet ||
+               event.action == http_no_route) {
+      report.domains_contacted.insert(domain_of(trace.detail(event)));
     }
+  }
+  for (const auto& [action_id, hits] : action_ids_seen) {
+    report.action_counts[std::string(pool.view(action_id))] = hits;
   }
 
   // Filesystem delta.

@@ -6,19 +6,25 @@ void schedule_usb_courier(World& world, winsys::UsbDrive& drive,
                           std::vector<winsys::Host*> route,
                           sim::Duration dwell) {
   if (route.empty() || dwell <= 0) return;
+  // Weak self-reference: each pending leg event is the only strong owner of
+  // the recursive closure, so the route dies with the queue (no shared_ptr
+  // cycle) when the simulation ends mid-journey.
   auto leg = std::make_shared<std::function<void(std::size_t)>>();
+  std::weak_ptr<std::function<void(std::size_t)>> weak_leg = leg;
   winsys::UsbDrive* stick = &drive;
   *leg = [&world, stick, route = std::move(route), dwell,
-          leg](std::size_t index) {
+          weak_leg](std::size_t index) {
+    auto self = weak_leg.lock();
+    if (!self) return;
     winsys::Host* host = route[index % route.size()];
     if (host->state() == winsys::HostState::kRunning) {
       host->plug_usb(*stick);
     }
-    world.sim().after(dwell, [stick, leg, index] {
+    world.sim().after(dwell, [stick, self, index] {
       if (winsys::Host* holder = stick->plugged_into()) {
         holder->unplug_usb(*stick);
       }
-      (*leg)(index + 1);
+      (*self)(index + 1);
     });
   };
   (*leg)(0);

@@ -33,10 +33,16 @@ std::size_t EventQueue::run_until(TimePoint deadline) {
   return executed;
 }
 
-std::size_t EventQueue::run_all(std::size_t max_events) {
-  std::size_t executed = 0;
-  while (executed < max_events && step()) ++executed;
-  return executed;
+bool EventQueue::prune_cancelled() {
+  while (!queue_.empty() && queue_.top().handle.cancelled()) queue_.pop();
+  return !queue_.empty();
+}
+
+EventQueue::DrainResult EventQueue::run_all(std::size_t max_events) {
+  DrainResult result;
+  while (result.executed < max_events && step()) ++result.executed;
+  result.truncated = result.executed >= max_events && prune_cancelled();
+  return result;
 }
 
 }  // namespace cyd::sim

@@ -48,10 +48,25 @@ class EventQueue {
   /// min(deadline, time of last event). Returns number of events executed.
   std::size_t run_until(TimePoint deadline);
 
+  /// Outcome of run_all(): how many events ran, and whether the drain was
+  /// cut off by `max_events` with runnable work still pending. Converts to
+  /// the executed count so arithmetic callers keep working.
+  struct DrainResult {
+    std::size_t executed = 0;
+    bool truncated = false;
+    operator std::size_t() const { return executed; }
+  };
+
   /// Drains the queue completely (use with care: periodic events never end).
-  std::size_t run_all(std::size_t max_events = 50'000'000);
+  /// When `max_events` is hit mid-scenario the result reports truncated —
+  /// callers must not mistake a cut-off run for a drained queue.
+  DrainResult run_all(std::size_t max_events = 50'000'000);
 
  private:
+  /// Pops cancelled entries off the front; true when a runnable event
+  /// remains. Used to avoid reporting truncation over dead entries.
+  bool prune_cancelled();
+
   struct Entry {
     TimePoint time;
     std::uint64_t seq;

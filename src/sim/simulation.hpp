@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -45,17 +46,19 @@ class Simulation {
                     Duration initial_delay = 0);
 
   /// Convenience trace append stamped with the current virtual time.
-  void log(TraceCategory category, std::string actor, std::string action,
-           std::string detail = {}) {
-    trace_.record(now(), category, std::move(actor), std::move(action),
-                  std::move(detail));
+  /// Allocation-free for already-interned actor/action strings.
+  void log(TraceCategory category, std::string_view actor,
+           std::string_view action, std::string_view detail = {}) {
+    trace_.record(now(), category, actor, action, detail);
   }
 
   std::size_t run_until(TimePoint deadline) { return queue_.run_until(deadline); }
   std::size_t run_for(Duration d) { return queue_.run_until(now() + d); }
-  std::size_t run_all(std::size_t max_events = 50'000'000) {
-    return queue_.run_all(max_events);
-  }
+
+  /// Drains the queue. If `max_events` cuts the scenario off mid-flight, a
+  /// "queue.truncated" warning event is recorded so the stop is auditable
+  /// instead of silent.
+  std::size_t run_all(std::size_t max_events = 50'000'000);
 
  private:
   EventQueue queue_;

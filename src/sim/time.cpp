@@ -30,6 +30,12 @@ TimePoint make_date(int year, int month, int day, int hour, int minute) {
 }
 
 std::string format_time(TimePoint t) {
+  std::string out;
+  format_time_to(out, t);
+  return out;
+}
+
+void format_time_to(std::string& out, TimePoint t) {
   bool negative = t < 0;
   std::int64_t ms = negative ? -t : t;
   std::int64_t total_days = ms / kDay;
@@ -60,7 +66,7 @@ std::string format_time(TimePoint t) {
     std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d", year,
                   month, day, hour, minute, second, milli);
   }
-  return buf;
+  out += buf;
 }
 
 std::string format_duration(Duration d) {

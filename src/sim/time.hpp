@@ -37,6 +37,10 @@ TimePoint make_date(int year, int month, int day, int hour = 0, int minute = 0);
 /// Renders a TimePoint as "YYYY-MM-DD hh:mm:ss.mmm" for traces and reports.
 std::string format_time(TimePoint t);
 
+/// Appends format_time(t) to `out` without creating a temporary string;
+/// used by TraceLog::render_tail's single-buffer rendering.
+void format_time_to(std::string& out, TimePoint t);
+
 /// Renders a Duration as a compact human-readable span, e.g. "2d 03:15:00".
 std::string format_duration(Duration d);
 

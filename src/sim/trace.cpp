@@ -1,8 +1,26 @@
 #include "sim/trace.hpp"
 
-#include <sstream>
-
 namespace cyd::sim {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_mix(std::uint64_t& h, std::string_view bytes) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
 
 const char* to_string(TraceCategory c) {
   switch (c) {
@@ -23,53 +41,177 @@ const char* to_string(TraceCategory c) {
 }
 
 void TraceLog::record(TimePoint time, TraceCategory category,
-                      std::string actor, std::string action,
-                      std::string detail) {
-  events_.push_back(TraceEvent{time, category, std::move(actor),
-                               std::move(action), std::move(detail)});
+                      std::string_view actor, std::string_view action,
+                      std::string_view detail) {
+  const StringId actor_id = pool_.intern(actor);
+  const StringId action_id = pool_.intern(action);
+  const auto event_index = static_cast<std::uint32_t>(events_.size());
+  const auto detail_offset = static_cast<std::uint32_t>(details_.size());
+  details_.append(detail);
+  events_.push_back(TraceEvent{time, category, actor_id, action_id,
+                               detail_offset,
+                               static_cast<std::uint32_t>(detail.size())});
+  by_category_index_[static_cast<std::size_t>(category)].push_back(
+      event_index);
+  append_posting(by_action_index_, action_id, event_index);
+  append_posting(by_actor_index_, actor_id, event_index);
 }
 
-std::vector<TraceEvent> TraceLog::query(
-    const std::function<bool(const TraceEvent&)>& pred) const {
-  std::vector<TraceEvent> out;
+void TraceLog::append_posting(
+    std::vector<std::vector<std::uint32_t>>& table, StringId id,
+    std::uint32_t event_index) {
+  if (id >= table.size()) table.resize(id + 1);
+  table[id].push_back(event_index);
+}
+
+void TraceLog::reserve(std::size_t events, std::size_t detail_bytes) {
+  events_.reserve(events);
+  if (detail_bytes > 0) details_.reserve(detail_bytes);
+}
+
+void TraceLog::clear() {
+  events_.clear();
+  pool_.clear();
+  details_.clear();
+  for (auto& index : by_category_index_) index.clear();
+  by_action_index_.clear();
+  by_actor_index_.clear();
+}
+
+const std::vector<std::uint32_t>* TraceLog::postings(
+    const std::vector<std::vector<std::uint32_t>>& table, StringId id) const {
+  if (id == kNoString || id >= table.size() || table[id].empty()) {
+    return nullptr;
+  }
+  return &table[id];
+}
+
+const std::vector<std::uint32_t>* TraceLog::action_index(
+    std::string_view action) const {
+  return postings(by_action_index_, pool_.find(action));
+}
+
+const std::vector<std::uint32_t>* TraceLog::actor_index(
+    std::string_view actor) const {
+  return postings(by_actor_index_, pool_.find(actor));
+}
+
+std::size_t TraceLog::count_action(std::string_view action) const {
+  const auto* index = action_index(action);
+  return index == nullptr ? 0 : index->size();
+}
+
+std::size_t TraceLog::count_actor(std::string_view actor) const {
+  const auto* index = actor_index(actor);
+  return index == nullptr ? 0 : index->size();
+}
+
+std::vector<TraceRecord> TraceLog::query(
+    const std::function<bool(const TraceEventRef&)>& pred) const {
+  std::vector<TraceRecord> out;
   for (const auto& e : events_) {
-    if (pred(e)) out.push_back(e);
+    const TraceEventRef ref(*this, e);
+    if (pred(ref)) {
+      out.push_back(TraceRecord{e.time, e.category, std::string(ref.actor()),
+                                std::string(ref.action()),
+                                std::string(ref.detail())});
+    }
   }
   return out;
 }
 
-std::vector<TraceEvent> TraceLog::by_category(TraceCategory c) const {
-  return query([c](const TraceEvent& e) { return e.category == c; });
-}
-
-std::vector<TraceEvent> TraceLog::by_action(const std::string& action) const {
-  return query([&](const TraceEvent& e) { return e.action == action; });
-}
-
-std::vector<TraceEvent> TraceLog::by_actor(const std::string& actor) const {
-  return query([&](const TraceEvent& e) { return e.actor == actor; });
-}
-
-std::size_t TraceLog::count_action(const std::string& action) const {
-  std::size_t n = 0;
-  for (const auto& e : events_) {
-    if (e.action == action) ++n;
+std::vector<TraceRecord> TraceLog::by_category(TraceCategory c) const {
+  std::vector<TraceRecord> out;
+  const auto& index = category_index(c);
+  out.reserve(index.size());
+  for (const auto i : index) {
+    const auto& e = events_[i];
+    out.push_back(TraceRecord{e.time, e.category, std::string(actor(e)),
+                              std::string(action(e)), std::string(detail(e))});
   }
-  return n;
+  return out;
+}
+
+std::vector<TraceRecord> TraceLog::by_action(std::string_view action_str) const {
+  std::vector<TraceRecord> out;
+  if (const auto* index = action_index(action_str)) {
+    out.reserve(index->size());
+    for (const auto i : *index) {
+      const auto& e = events_[i];
+      out.push_back(TraceRecord{e.time, e.category, std::string(actor(e)),
+                                std::string(action(e)),
+                                std::string(detail(e))});
+    }
+  }
+  return out;
+}
+
+std::vector<TraceRecord> TraceLog::by_actor(std::string_view actor_str) const {
+  std::vector<TraceRecord> out;
+  if (const auto* index = actor_index(actor_str)) {
+    out.reserve(index->size());
+    for (const auto i : *index) {
+      const auto& e = events_[i];
+      out.push_back(TraceRecord{e.time, e.category, std::string(actor(e)),
+                                std::string(action(e)),
+                                std::string(detail(e))});
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceLog::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& e : events_) {
+    fnv_mix(h, static_cast<std::uint64_t>(e.time));
+    fnv_mix(h, static_cast<std::uint64_t>(e.category));
+    fnv_mix(h, actor(e));
+    fnv_mix(h, action(e));
+    fnv_mix(h, detail(e));
+  }
+  return h;
+}
+
+bool TraceLog::operator==(const TraceLog& other) const {
+  if (events_.size() != other.events_.size()) return false;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& a = events_[i];
+    const auto& b = other.events_[i];
+    if (a.time != b.time || a.category != b.category ||
+        actor(a) != other.actor(b) || action(a) != other.action(b) ||
+        detail(a) != other.detail(b)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::string TraceLog::render_tail(std::size_t max_lines) const {
-  std::ostringstream out;
   const std::size_t start =
       events_.size() > max_lines ? events_.size() - max_lines : 0;
+  std::string out;
+  std::size_t bytes = 0;
   for (std::size_t i = start; i < events_.size(); ++i) {
     const auto& e = events_[i];
-    out << format_time(e.time) << " [" << to_string(e.category) << "] "
-        << e.actor << " " << e.action;
-    if (!e.detail.empty()) out << " " << e.detail;
-    out << "\n";
+    bytes += 40 + actor(e).size() + action(e).size() + e.detail_size;
   }
-  return out.str();
+  out.reserve(bytes);
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    const auto& e = events_[i];
+    format_time_to(out, e.time);
+    out += " [";
+    out += to_string(e.category);
+    out += "] ";
+    out += actor(e);
+    out += ' ';
+    out += action(e);
+    if (e.detail_size > 0) {
+      out += ' ';
+      out += detail(e);
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace cyd::sim

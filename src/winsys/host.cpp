@@ -44,8 +44,8 @@ Host::Host(sim::Simulation& simulation, ProgramRegistry& programs,
                        : DriverPolicy::kAllowUnsigned;
 }
 
-void Host::trace(sim::TraceCategory category, const std::string& action,
-                 const std::string& detail) {
+void Host::trace(sim::TraceCategory category, std::string_view action,
+                 std::string_view detail) {
   sim_.log(category, name_, action, detail);
 }
 
@@ -211,15 +211,21 @@ void Host::schedule_task(std::string task_name, const Path& binary,
   trace(sim::TraceCategory::kProcess, "task.schedule",
         task->name + " at=" + sim::format_time(at));
 
+  // Self-reference through a weak_ptr: the pending simulation event is the
+  // only strong owner, so a never-cancelled periodic task dies with the
+  // queue instead of leaking through a shared_ptr cycle.
   auto fire = std::make_shared<std::function<void(sim::TimePoint)>>();
-  *fire = [this, task, fire](sim::TimePoint when) {
-    sim_.at(when, [this, task, fire, when] {
+  std::weak_ptr<std::function<void(sim::TimePoint)>> weak_fire = fire;
+  *fire = [this, task, weak_fire](sim::TimePoint when) {
+    auto self = weak_fire.lock();
+    if (!self) return;
+    sim_.at(when, [this, task, self, when] {
       if (task->cancelled || state_ != HostState::kRunning) return;
       ExecContext ctx;
       ctx.launched_by = "task-scheduler";
       ctx.elevated = true;
       execute_file(task->binary_path, ctx);
-      if (task->period > 0 && !task->cancelled) (*fire)(when + task->period);
+      if (task->period > 0 && !task->cancelled) (*self)(when + task->period);
     });
   };
   (*fire)(at);

@@ -15,6 +15,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "exploits/vuln.hpp"
@@ -234,9 +235,10 @@ class Host {
   void log_event(const std::string& source, const std::string& message);
   const std::vector<EventLogEntry>& event_log() const { return event_log_; }
   void clear_event_log() { event_log_.clear(); }
-  /// Trace helper attributed to this host.
-  void trace(sim::TraceCategory category, const std::string& action,
-             const std::string& detail = {});
+  /// Trace helper attributed to this host. Allocation-free: the log interns
+  /// the strings, so nothing is copied on the hot path.
+  void trace(sim::TraceCategory category, std::string_view action,
+             std::string_view detail = {});
 
  private:
   void run_autoplay(UsbDrive& drive);

@@ -102,6 +102,38 @@ TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(q.step());
 }
 
+TEST(EventQueueTest, RunAllReportsCleanDrain) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  const auto result = q.run_all();
+  EXPECT_EQ(result.executed, 2u);
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(EventQueueTest, RunAllReportsTruncation) {
+  EventQueue q;
+  // A self-perpetuating chain: draining it fully is impossible.
+  std::function<void()> chain = [&] { q.schedule_at(q.now() + 1, chain); };
+  q.schedule_at(0, chain);
+  const auto result = q.run_all(/*max_events=*/10);
+  EXPECT_EQ(result.executed, 10u);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_GE(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, TruncationIgnoresCancelledStragglers) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule_at(10 * i, [] {});
+  auto dead = q.schedule_at(100, [] {});
+  dead.cancel();
+  // Exactly the 5 live events fit the budget; the cancelled one left in the
+  // queue must not read as "work still pending".
+  const auto result = q.run_all(/*max_events=*/5);
+  EXPECT_EQ(result.executed, 5u);
+  EXPECT_FALSE(result.truncated);
+}
+
 TEST(SimulationTest, AfterSchedulesRelativeToNow) {
   Simulation simulation;
   TimePoint seen = -1;
@@ -151,6 +183,32 @@ TEST(SimulationTest, PeriodicCanCancelItselfFromInside) {
   });
   simulation.run_until(hours(1));
   EXPECT_EQ(fires, 3);
+}
+
+TEST(SimulationTest, CancelledPeriodicStopsReschedulingEntirely) {
+  Simulation simulation;
+  int fires = 0;
+  auto handle = simulation.every(minutes(10), [&] { ++fires; });
+  simulation.run_until(minutes(25));
+  EXPECT_EQ(fires, 2);
+  handle.cancel();
+  // If the cancelled series kept re-arming, run_all would spin forever and
+  // hit the event budget; a truly stopped series drains to an empty queue.
+  simulation.run_all(/*max_events=*/1000);
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(simulation.queue().pending(), 0u);
+  EXPECT_EQ(simulation.trace().count_action("queue.truncated"), 0u);
+}
+
+TEST(SimulationTest, RunAllLogsTruncationWarning) {
+  Simulation simulation;
+  simulation.every(minutes(1), [] {});  // never-ending periodic series
+  const auto executed = simulation.run_all(/*max_events=*/25);
+  EXPECT_EQ(executed, 25u);
+  ASSERT_EQ(simulation.trace().count_action("queue.truncated"), 1u);
+  const auto warning = simulation.trace().by_action("queue.truncated");
+  EXPECT_EQ(warning[0].category, TraceCategory::kSim);
+  EXPECT_NE(warning[0].detail.find("25"), std::string::npos);
 }
 
 TEST(SimulationTest, LogStampsCurrentTime) {
