@@ -100,6 +100,6 @@ BENCHMARK(BM_PatchRaceQuarter)->Arg(0)->Arg(60)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchutil::header("ABLATION: the zero-day window vs patch rollout",
                     "Section V-A pricing, defender-side dynamics");
-  reproduce();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

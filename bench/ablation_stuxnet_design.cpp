@@ -136,6 +136,6 @@ BENCHMARK(BM_CascadeHalfYear)->Arg(1)->Arg(15)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchutil::header("ABLATION: Stuxnet-model design knobs",
                     "DESIGN.md §5 modelling choices");
-  reproduce();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

@@ -9,8 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "core/scenario.hpp"
 #include "pki/signing.hpp"
@@ -26,6 +28,53 @@ inline void header(const std::string& title, const std::string& paper_ref) {
 
 inline void section(const std::string& name) {
   std::printf("\n-- %s --\n", name.c_str());
+}
+
+/// printf-compatible sink that buffers instead of writing to stdout. The
+/// figure benches run their scenario grids through sim::Sweep::map_items;
+/// each run renders its part of the report into a Report and the caller
+/// dumps them in item order, so the parallel fan-out stays byte-identical
+/// to the serial loop it replaced.
+class Report {
+ public:
+  [[gnu::format(printf, 2, 3)]] void printf(const char* fmt, ...) {
+    std::va_list args;
+    va_start(args, fmt);
+    std::va_list measure;
+    va_copy(measure, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, measure);
+    va_end(measure);
+    if (n > 0) {
+      const std::size_t old = text_.size();
+      text_.resize(old + static_cast<std::size_t>(n) + 1);
+      std::vsnprintf(text_.data() + old, static_cast<std::size_t>(n) + 1, fmt,
+                     args);
+      text_.resize(old + static_cast<std::size_t>(n));  // drop the NUL
+    }
+    va_end(args);
+  }
+
+  void section(const std::string& name) { printf("\n-- %s --\n", name.c_str()); }
+
+  const std::string& text() const { return text_; }
+  bool empty() const { return text_.empty(); }
+
+  /// Writes the buffered report to stdout.
+  void dump() const { std::fwrite(text_.data(), 1, text_.size(), stdout); }
+
+ private:
+  std::string text_;
+};
+
+/// True when `flag` appears verbatim in argv. The benches use `--no-repro`
+/// to skip the deterministic reproduction pass (the bench_smoke target only
+/// wants the timed cases); google-benchmark leaves argv entries it does not
+/// recognize alone, so the extra flag is safe to pass through.
+inline bool has_flag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
 }
 
 /// A commercial code-signing ecosystem: one trusted root plus a leaf issued

@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "core/user_behavior.hpp"
 #include "malware/stuxnet/stuxnet.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
@@ -25,7 +26,10 @@ struct CampaignResult {
   bool operator_saw = false;
 };
 
-void run_campaign(bool print) {
+// Runs the full Natanz campaign; with a Report the level-by-level ledger and
+// monthly series are rendered into it (the sweep item), without one only the
+// simulation runs (the google-benchmark path).
+void run_campaign(benchutil::Report* report) {
   core::World world(0x57);
   world.add_internet_landmarks();
   core::NatanzSpec spec;
@@ -51,15 +55,15 @@ void run_campaign(bool print) {
                                     sim::days(1) + sim::hours(2 * c));
   }
 
-  if (print) {
-    benchutil::section("monthly series (who wins: the worm, silently)");
-    std::printf("%-10s %-9s %-10s %-10s %-9s %-8s %-s\n", "month",
-                "infected", "strikes", "destroyed", "hmi-Hz", "true-Hz",
-                "safety");
+  if (report != nullptr) {
+    report->section("monthly series (who wins: the worm, silently)");
+    report->printf("%-10s %-9s %-10s %-10s %-9s %-8s %-s\n", "month",
+                   "infected", "strikes", "destroyed", "hmi-Hz", "true-Hz",
+                   "safety");
   }
   for (int month = 1; month <= 12; ++month) {
     world.sim().run_for(30 * sim::kDay);
-    if (!print) continue;
+    if (report == nullptr) continue;
     double hmi = 0, actual = 0;
     for (auto* plc : site.cascades) {
       hmi += plc->reported_frequency();
@@ -67,14 +71,14 @@ void run_campaign(bool print) {
     }
     hmi /= static_cast<double>(site.cascades.size());
     actual /= static_cast<double>(site.cascades.size());
-    std::printf("%-10d %-9zu %-10zu %4zu/%-5zu %-9.0f %-8.0f %-s\n", month,
-                world.tracker().infected_count("stuxnet"),
-                stuxnet.plc_strikes(), site.destroyed_centrifuges(),
-                site.total_centrifuges(), hmi, actual,
-                site.any_safety_tripped() ? "TRIPPED" : "quiet");
+    report->printf("%-10d %-9zu %-10zu %4zu/%-5zu %-9.0f %-8.0f %-s\n", month,
+                   world.tracker().infected_count("stuxnet"),
+                   stuxnet.plc_strikes(), site.destroyed_centrifuges(),
+                   site.total_centrifuges(), hmi, actual,
+                   site.any_safety_tripped() ? "TRIPPED" : "quiet");
   }
 
-  if (print) {
+  if (report != nullptr) {
     CampaignResult result;
     result.windows_infections = world.tracker().infected_count("stuxnet");
     result.plc_strikes = stuxnet.plc_strikes();
@@ -90,28 +94,40 @@ void run_campaign(bool print) {
       if (hmi->operator_saw_anomaly(800.0, 1250.0)) result.operator_saw = true;
     }
 
-    benchutil::section("the three levels of Fig. 1");
-    std::printf("level 1  compromising Windows      : %zu hosts infected "
-                "(vectors: usb-lnk + spooler + shares)\n",
-                result.windows_infections);
-    std::printf("level 2  compromising Step 7       : s7otbxdx.dll replaced=%zu, "
-                "projects contaminated=%zu\n",
-                result.dll_replacements, result.project_infections);
-    std::printf("level 3  compromising the PLC      : %zu cascade PLCs "
-                "injected, %zu/%zu centrifuges destroyed\n",
-                result.plc_strikes, result.destroyed, result.total);
-    benchutil::section("stealth verdict");
-    std::printf("digital safety system tripped      : %s\n",
-                result.safety_tripped ? "YES (deception failed)" : "no");
-    std::printf("operator saw an out-of-band value  : %s\n",
-                result.operator_saw ? "YES" : "no");
-    std::printf("C&C check-ins from the site        : %zu\n",
-                stuxnet.c2().victim_count());
+    report->section("the three levels of Fig. 1");
+    report->printf("level 1  compromising Windows      : %zu hosts infected "
+                   "(vectors: usb-lnk + spooler + shares)\n",
+                   result.windows_infections);
+    report->printf("level 2  compromising Step 7       : s7otbxdx.dll "
+                   "replaced=%zu, projects contaminated=%zu\n",
+                   result.dll_replacements, result.project_infections);
+    report->printf("level 3  compromising the PLC      : %zu cascade PLCs "
+                   "injected, %zu/%zu centrifuges destroyed\n",
+                   result.plc_strikes, result.destroyed, result.total);
+    report->section("stealth verdict");
+    report->printf("digital safety system tripped      : %s\n",
+                   result.safety_tripped ? "YES (deception failed)" : "no");
+    report->printf("operator saw an out-of-band value  : %s\n",
+                   result.operator_saw ? "YES" : "no");
+    report->printf("C&C check-ins from the site        : %zu\n",
+                   stuxnet.c2().victim_count());
   }
 }
 
+void reproduce() {
+  // One campaign in the grid, but routed through the same sweep machinery as
+  // the multi-cell figures so every figure bench shares one code shape.
+  auto reports = sim::Sweep::map_items(
+      std::vector<int>{0}, [](int) {
+        benchutil::Report report;
+        run_campaign(&report);
+        return report;
+      });
+  reports[0].dump();
+}
+
 void BM_NatanzCampaignYear(benchmark::State& state) {
-  for (auto _ : state) run_campaign(/*print=*/false);
+  for (auto _ : state) run_campaign(nullptr);
 }
 BENCHMARK(BM_NatanzCampaignYear)->Unit(benchmark::kMillisecond);
 
@@ -130,6 +146,6 @@ BENCHMARK(BM_PlcScanCycle);
 int main(int argc, char** argv) {
   benchutil::header("FIG-1: Stuxnet operation overview (Natanz campaign)",
                     "Figure 1 — three-level attack: Windows -> Step 7 -> PLC");
-  run_campaign(/*print=*/true);
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

@@ -11,6 +11,7 @@
 #include "core/user_behavior.hpp"
 #include "malware/flame/flame.hpp"
 #include "pki/forgery.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
@@ -22,8 +23,11 @@ struct MitmOutcome {
   std::size_t signature_rejections = 0;
 };
 
+// Runs one LAN configuration; when `report` is non-null the daily infection
+// series is rendered into it (only the headline grid cell wants it).
 MitmOutcome run_lan(std::size_t lan_size, int wpad_vulnerable_pct,
-                    bool forged_cert, bool advisory_applied, bool print) {
+                    bool forged_cert, bool advisory_applied,
+                    benchutil::Report* report) {
   core::World world(0xf16 + static_cast<std::uint64_t>(wpad_vulnerable_pct));
   world.add_internet_landmarks();
 
@@ -59,15 +63,15 @@ MitmOutcome run_lan(std::size_t lan_size, int wpad_vulnerable_pct,
   flame.infect(*fleet[0], "targeted-drop");
 
   MitmOutcome outcome;
-  if (print) {
-    std::printf("%-6s %-10s %-10s\n", "day", "infected", "via-mitm");
+  if (report != nullptr) {
+    report->printf("%-6s %-10s %-10s\n", "day", "infected", "via-mitm");
   }
   for (int day = 1; day <= 14; ++day) {
     world.sim().run_for(sim::kDay);
-    if (print && (day <= 5 || day % 2 == 0)) {
-      std::printf("%-6d %-10zu %-10zu\n", day,
-                  world.tracker().infected_count("flame"),
-                  flame.mitm_infections());
+    if (report != nullptr && (day <= 5 || day % 2 == 0)) {
+      report->printf("%-6d %-10zu %-10zu\n", day,
+                     world.tracker().infected_count("flame"),
+                     flame.mitm_infections());
     }
   }
   outcome.infected = world.tracker().infected_count("flame");
@@ -77,37 +81,55 @@ MitmOutcome run_lan(std::size_t lan_size, int wpad_vulnerable_pct,
   return outcome;
 }
 
-void reproduce() {
-  benchutil::section("spread on a 30-host LAN (all WPAD-vulnerable, forged cert)");
-  run_lan(30, 100, /*forged_cert=*/true, /*advisory=*/false, /*print=*/true);
+struct RunSpec {
+  const char* label;  // nullptr for the headline daily-series run
+  int wpad_pct;
+  bool forged;
+  bool advisory;
+};
 
-  benchutil::section("preconditions matrix (victims infected after 14 days)");
-  std::printf("%-44s %-10s %-10s %-8s\n", "configuration", "infected",
-              "via-mitm", "wu-rejects");
-  struct Case {
-    const char* label;
-    int wpad_pct;
-    bool forged;
-    bool advisory;
-  } cases[] = {
+struct RunOut {
+  MitmOutcome outcome;
+  benchutil::Report daily;
+};
+
+void reproduce() {
+  // The headline run (item 0) and the preconditions matrix share one sweep;
+  // results land in item order, so the rendered tables match the old serial
+  // loop byte for byte.
+  const std::vector<RunSpec> specs = {
+      {nullptr, 100, true, false},
       {"WPAD open, forged cert (the attack)", 100, true, false},
       {"WPAD open, NO forged cert", 100, false, false},
       {"WPAD open, forged cert, post-advisory", 100, true, true},
       {"WPAD fixed (DNS-only), forged cert", 0, true, false},
       {"half the LAN WPAD-vulnerable", 50, true, false},
   };
-  for (const auto& c : cases) {
-    const auto outcome =
-        run_lan(30, c.wpad_pct, c.forged, c.advisory, /*print=*/false);
-    std::printf("%-44s %-10zu %-10zu %-8zu\n", c.label, outcome.infected,
-                outcome.mitm_infections, outcome.signature_rejections);
+  auto runs = sim::Sweep::map_items(specs, [](const RunSpec& s) {
+    RunOut out;
+    out.outcome = run_lan(30, s.wpad_pct, s.forged, s.advisory,
+                          s.label == nullptr ? &out.daily : nullptr);
+    return out;
+  });
+
+  benchutil::section("spread on a 30-host LAN (all WPAD-vulnerable, forged cert)");
+  runs[0].daily.dump();
+
+  benchutil::section("preconditions matrix (victims infected after 14 days)");
+  std::printf("%-44s %-10s %-10s %-8s\n", "configuration", "infected",
+              "via-mitm", "wu-rejects");
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    const auto& outcome = runs[i].outcome;
+    std::printf("%-44s %-10zu %-10zu %-8zu\n", specs[i].label,
+                outcome.infected, outcome.mitm_infections,
+                outcome.signature_rejections);
   }
 }
 
 void BM_Mitm14Days(benchmark::State& state) {
   for (auto _ : state) {
     auto outcome = run_lan(static_cast<std::size_t>(state.range(0)), 100,
-                           true, false, false);
+                           true, false, nullptr);
     benchmark::DoNotOptimize(outcome);
   }
 }
@@ -118,6 +140,6 @@ BENCHMARK(BM_Mitm14Days)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchutil::header("FIG-2: Flame WPAD MITM + fake Windows Update",
                     "Figure 2 — SNACK/MUNCH/GADGET proxy hijack");
-  reproduce();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

@@ -13,41 +13,44 @@
 #include "cnc/attack_center.hpp"
 #include "cnc/domains.hpp"
 #include "malware/flame/flame.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
 namespace {
 
-void reproduce() {
+// Fabricates the fleet, runs the week-long campaign, and renders the
+// platform statistics into `report` (the sweep item for this figure).
+void run_platform(benchutil::Report& report) {
   core::World world(0xf14);
   world.add_internet_landmarks();
 
   auto rng = world.rng().fork();
   const auto fleet = cnc::DomainFleet::generate(80, 22, rng);
 
-  benchutil::section("registration layer (80 domains -> 22 servers)");
+  report.section("registration layer (80 domains -> 22 servers)");
   std::map<std::string, int> by_registrar, by_country;
   for (const auto& record : fleet) {
     ++by_registrar[record.registrar];
     ++by_country[record.registrant_country];
   }
-  std::printf("registrars used: %zu\n",
-              cnc::DomainFleet::registrar_count(fleet));
+  report.printf("registrars used: %zu\n",
+                cnc::DomainFleet::registrar_count(fleet));
   for (const auto& [registrar, count] : by_registrar) {
-    std::printf("  %-14s %d domains\n", registrar.c_str(), count);
+    report.printf("  %-14s %d domains\n", registrar.c_str(), count);
   }
-  std::printf("fake registrant countries: %zu\n",
-              cnc::DomainFleet::country_count(fleet));
+  report.printf("fake registrant countries: %zu\n",
+                cnc::DomainFleet::country_count(fleet));
   for (const auto& [country, count] : by_country) {
-    std::printf("  %-14s %d identities\n", country.c_str(), count);
+    report.printf("  %-14s %d identities\n", country.c_str(), count);
   }
-  std::printf("sample records:\n");
+  report.printf("sample records:\n");
   for (int i = 0; i < 3; ++i) {
-    std::printf("  %-22s reg=%-10s ident=\"%s\" (%s) -> %s\n",
-                fleet[i].domain.c_str(), fleet[i].registrar.c_str(),
-                fleet[i].registrant.c_str(),
-                fleet[i].registrant_country.c_str(),
-                fleet[i].server_id.c_str());
+    report.printf("  %-22s reg=%-10s ident=\"%s\" (%s) -> %s\n",
+                  fleet[i].domain.c_str(), fleet[i].registrar.c_str(),
+                  fleet[i].registrant.c_str(),
+                  fleet[i].registrant_country.c_str(),
+                  fleet[i].server_id.c_str());
   }
 
   // --- deploy servers + attack center ---
@@ -82,12 +85,12 @@ void reproduce() {
 
   world.sim().run_for(sim::days(7));
 
-  benchutil::section("client-side domain config (5 -> ~10 after contact)");
+  report.section("client-side domain config (5 -> ~10 after contact)");
   auto* first = malware::flame::Flame::find(*hosts[0]);
-  std::printf("default config: %zu domains; after first contact: %zu\n",
-              config.default_domains.size(), first->domains.size());
+  report.printf("default config: %zu domains; after first contact: %zu\n",
+                config.default_domains.size(), first->domains.size());
 
-  benchutil::section("one week of platform traffic");
+  report.section("one week of platform traffic");
   std::size_t contacted_servers = 0, total_entries = 0, total_clients = 0;
   std::uint64_t total_bytes = 0;
   for (const auto& server : servers) {
@@ -98,15 +101,15 @@ void reproduce() {
     total_bytes += server->total_upload_bytes();
     total_clients += server->known_clients().size();
   }
-  std::printf("servers contacted      : %zu / 22\n", contacted_servers);
-  std::printf("client registrations   : %zu rows across the fleet\n",
-              total_clients);
-  std::printf("entries uploaded       : %zu (%llu bytes ciphertext)\n",
-              total_entries, static_cast<unsigned long long>(total_bytes));
-  std::printf("coordinator archive    : %zu documents, %llu bytes plaintext\n",
-              center.archive().size(),
-              static_cast<unsigned long long>(center.archived_bytes()));
-  std::printf("domain hit distribution (top 5):\n");
+  report.printf("servers contacted      : %zu / 22\n", contacted_servers);
+  report.printf("client registrations   : %zu rows across the fleet\n",
+                total_clients);
+  report.printf("entries uploaded       : %zu (%llu bytes ciphertext)\n",
+                total_entries, static_cast<unsigned long long>(total_bytes));
+  report.printf("coordinator archive    : %zu documents, %llu bytes plaintext\n",
+                center.archive().size(),
+                static_cast<unsigned long long>(center.archived_bytes()));
+  report.printf("domain hit distribution (top 5):\n");
   std::vector<std::pair<std::string, std::size_t>> hits(
       world.network().domain_hits().begin(),
       world.network().domain_hits().end());
@@ -114,9 +117,18 @@ void reproduce() {
     return a.second > b.second;
   });
   for (std::size_t i = 0; i < std::min<std::size_t>(5, hits.size()); ++i) {
-    std::printf("  %-22s %zu requests\n", hits[i].first.c_str(),
-                hits[i].second);
+    report.printf("  %-22s %zu requests\n", hits[i].first.c_str(),
+                  hits[i].second);
   }
+}
+
+void reproduce() {
+  auto reports = sim::Sweep::map_items(std::vector<int>{0}, [](int) {
+    benchutil::Report report;
+    run_platform(report);
+    return report;
+  });
+  reports[0].dump();
 }
 
 void BM_PlatformWeek(benchmark::State& state) {
@@ -147,6 +159,6 @@ BENCHMARK(BM_PlatformWeek)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchutil::header("FIG-4: the C&C platform behind Flame",
                     "Figure 4 — 80 domains, 22 servers, one attack center");
-  reproduce();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

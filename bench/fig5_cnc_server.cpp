@@ -11,12 +11,15 @@
 #include "cnc/attack_center.hpp"
 #include "core/user_behavior.hpp"
 #include "malware/flame/flame.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
 namespace {
 
-void reproduce() {
+// Runs the week on one server and renders every section of the figure into
+// `report` (the sweep item for this figure).
+void run_server(benchutil::Report& report) {
   core::World world(0xf15);
   world.add_internet_landmarks();
 
@@ -57,38 +60,38 @@ void reproduce() {
 
   world.sim().run_for(7 * sim::kDay);
 
-  benchutil::section("data flow through the dead-drop, one week");
-  std::printf("GET_NEWS requests served    : %zu\n", server.get_news_count());
-  std::printf("ADD_ENTRY uploads received  : %zu\n", server.upload_count());
-  std::printf("ciphertext received         : %llu bytes (scaled 1:100 -> "
+  report.section("data flow through the dead-drop, one week");
+  report.printf("GET_NEWS requests served    : %zu\n", server.get_news_count());
+  report.printf("ADD_ENTRY uploads received  : %zu\n", server.upload_count());
+  report.printf("ciphertext received         : %llu bytes (scaled 1:100 -> "
               "~%.2f GB real-world)\n",
               static_cast<unsigned long long>(server.total_upload_bytes()),
               static_cast<double>(server.total_upload_bytes()) * 100.0 / 1e9);
-  std::printf("entries still on disk       : %zu (purge runs every 30 min "
+  report.printf("entries still on disk       : %zu (purge runs every 30 min "
               "after pickup)\n", server.entries().size());
-  std::printf("clients in the database     : %zu\n",
+  report.printf("clients in the database     : %zu\n",
               server.known_clients().size());
-  std::printf("database rows total         : %zu across tables:",
+  report.printf("database rows total         : %zu across tables:",
               server.db().total_rows());
   for (const auto& table : server.db().table_names()) {
-    std::printf(" %s", table.c_str());
+    report.printf(" %s", table.c_str());
   }
-  std::printf("\naccess log lines            : %zu\n",
+  report.printf("\naccess log lines            : %zu\n",
               server.access_log().size());
 
-  benchutil::section("role separation (who can read the loot)");
+  report.section("role separation (who can read the loot)");
   // The operator sees ciphertext; only the coordinator key opens it.
   cnc::CncKeyPair operator_guess = cnc::CncKeyPair::generate(0xbad);
   std::size_t operator_reads = 0, coordinator_reads = center.archive().size();
   for (const auto& entry : server.entries()) {
     if (cnc::decrypt(operator_guess, entry.blob)) ++operator_reads;
   }
-  std::printf("server admin / panel operator decrypts: %zu of %zu blobs\n",
+  report.printf("server admin / panel operator decrypts: %zu of %zu blobs\n",
               operator_reads, server.entries().size());
-  std::printf("attack coordinator decrypts           : %zu documents\n",
+  report.printf("attack coordinator decrypts           : %zu documents\n",
               coordinator_reads);
 
-  benchutil::section("targeted fetch (metadata-first policy)");
+  report.section("targeted fetch (metadata-first policy)");
   std::size_t metadata = 0, content = 0;
   for (const auto& doc : center.archive()) {
     if (doc.name.rfind("jimmy:doc:", 0) == 0) {
@@ -97,11 +100,11 @@ void reproduce() {
       ++metadata;
     }
   }
-  std::printf("document metadata records   : %zu\n", metadata);
-  std::printf("full documents (on order)   : %zu (only the jimmy-fetch "
+  report.printf("document metadata records   : %zu\n", metadata);
+  report.printf("full documents (on order)   : %zu (only the jimmy-fetch "
               "target uploads content)\n", content);
 
-  benchutil::section("client types (Flame was one of four platform clients)");
+  report.section("client types (Flame was one of four platform clients)");
   // Non-Flame clients of the same platform phone the same dead-drop.
   for (const char* type : {cnc::kClientTypeSp, cnc::kClientTypeSpe,
                            cnc::kClientTypeIp}) {
@@ -120,15 +123,24 @@ void reproduce() {
     ++by_type[row->at("type")];
   }
   for (const auto& [type, count] : by_type) {
-    std::printf("  CLIENT_TYPE_%-4s %d clients\n", type.c_str(), count);
+    report.printf("  CLIENT_TYPE_%-4s %d clients\n", type.c_str(), count);
   }
 
-  benchutil::section("LogWiper.sh");
+  report.section("LogWiper.sh");
   server.run_log_wiper();
-  std::printf("after the wipe: log lines=%zu, wiped=%s, database rows=%zu "
+  report.printf("after the wipe: log lines=%zu, wiped=%s, database rows=%zu "
               "(tables survive; logs do not)\n",
               server.access_log().size(),
               server.logs_wiped() ? "yes" : "no", server.db().total_rows());
+}
+
+void reproduce() {
+  auto reports = sim::Sweep::map_items(std::vector<int>{0}, [](int) {
+    benchutil::Report report;
+    run_server(report);
+    return report;
+  });
+  reports[0].dump();
 }
 
 void BM_AddEntry(benchmark::State& state) {
@@ -164,6 +176,6 @@ BENCHMARK(BM_CoordinatorDecrypt);
 int main(int argc, char** argv) {
   benchutil::header("FIG-5: inside a Flame C&C server",
                     "Figure 5 — newsforyou dead-drop, database, purge, keys");
-  reproduce();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

@@ -9,13 +9,15 @@
 #include "bench_util.hpp"
 #include "analysis/static_analysis.hpp"
 #include "malware/shamoon/shamoon.hpp"
+#include "sim/sweep.hpp"
 
 using namespace cyd;
 
 namespace {
 
-void print_tree(const analysis::StaticReport& report, int indent) {
-  std::printf("%*s%s\n", indent, "", report.summary().c_str());
+void print_tree(const analysis::StaticReport& report, int indent,
+                benchutil::Report& out) {
+  out.printf("%*s%s\n", indent, "", report.summary().c_str());
   for (const auto& res : report.resources) {
     std::string crypto;
     if (res.xor_encrypted) {
@@ -28,14 +30,14 @@ void print_tree(const analysis::StaticReport& report, int indent) {
         crypto += " key=?]";
       }
     }
-    std::printf("%*s  resource %3u %-7s %5zu bytes entropy=%.2f%s\n", indent,
-                "", res.id, res.name.c_str(), res.size, res.entropy,
-                crypto.c_str());
-    if (res.embedded) print_tree(*res.embedded, indent + 6);
+    out.printf("%*s  resource %3u %-7s %5zu bytes entropy=%.2f%s\n", indent,
+               "", res.id, res.name.c_str(), res.size, res.entropy,
+               crypto.c_str());
+    if (res.embedded) print_tree(*res.embedded, indent + 6, out);
   }
 }
 
-void reproduce_dissection() {
+void reproduce_dissection(benchutil::Report& out) {
   core::World lab(0x1ab);
   malware::shamoon::Shamoon shamoon(lab.sim(), lab.network(),
                                     lab.programs(), lab.tracker());
@@ -56,15 +58,17 @@ void reproduce_dissection() {
   const auto bytes = shamoon.build_trksvr().serialize();
   const auto report = analysis::dissect(bytes, store, trust,
                                         sim::make_date(2012, 8, 20));
-  benchutil::section("component tree carved from TrkSvr.exe");
-  print_tree(report, 0);
-  std::printf("\nembedded executables found : %zu "
-              "(reporter, wiper+driver, x64 variant tree)\n",
-              report.embedded_pe_count());
-  std::printf("burning-flag JPEG fragment : 192 bytes (the truncation bug)\n");
+  out.section("component tree carved from TrkSvr.exe");
+  print_tree(report, 0, out);
+  out.printf("\nembedded executables found : %zu "
+             "(reporter, wiper+driver, x64 variant tree)\n",
+             report.embedded_pe_count());
+  out.printf("burning-flag JPEG fragment : 192 bytes (the truncation bug)\n");
 }
 
-void reproduce_detonation(std::size_t fleet_size, bool print) {
+// Runs the fleet detonation; with a Report the kill-date timeline is
+// rendered into it, without one only the simulation runs (the bench path).
+void reproduce_detonation(std::size_t fleet_size, benchutil::Report* out) {
   core::World world(0xa3a);
   world.add_internet_landmarks();
 
@@ -93,9 +97,9 @@ void reproduce_detonation(std::size_t fleet_size, bool print) {
   world.sim().run_until(sim::make_date(2012, 8, 1));
   shamoon.infect(*fleet[0], "spear-phish");
 
-  if (print) {
-    benchutil::section("detonation timeline (1,000 hosts ~ 1:30 of Aramco)");
-    std::printf("%-18s %-10s %-10s %-10s\n", "time", "infected", "bricked",
+  if (out != nullptr) {
+    out->section("detonation timeline (1,000 hosts ~ 1:30 of Aramco)");
+    out->printf("%-18s %-10s %-10s %-10s\n", "time", "infected", "bricked",
                 "reports");
   }
   const sim::TimePoint checkpoints[] = {
@@ -104,24 +108,38 @@ void reproduce_detonation(std::size_t fleet_size, bool print) {
       sim::make_date(2012, 8, 16)};
   for (const auto checkpoint : checkpoints) {
     world.sim().run_until(checkpoint);
-    if (print) {
-      std::printf("%-18s %-10zu %-10zu %-10zu\n",
+    if (out != nullptr) {
+      out->printf("%-18s %-10zu %-10zu %-10zu\n",
                   sim::format_time(checkpoint).substr(0, 16).c_str(),
                   world.tracker().infected_count("shamoon"),
                   world.count_unbootable(), shamoon.reports().size());
     }
   }
-  if (print) {
-    std::printf("\nfinal: %zu/%zu workstations unbootable; every report "
+  if (out != nullptr) {
+    out->printf("\nfinal: %zu/%zu workstations unbootable; every report "
                 "carried domain+ip+count+f1.inf, e.g.:\n",
                 world.count_unbootable(), fleet.size());
     if (!shamoon.reports().empty()) {
       const auto& r = shamoon.reports().front();
-      std::printf("  domain=%s ip=%s files=%d listing=%zu bytes\n",
+      out->printf("  domain=%s ip=%s files=%d listing=%zu bytes\n",
                   r.domain.c_str(), r.ip.c_str(), r.files_overwritten,
                   r.f1_listing.size());
     }
   }
+}
+
+void reproduce() {
+  // The two halves of the figure are independent scenarios: sweep them.
+  auto reports = sim::Sweep::map_items(std::vector<int>{0, 1}, [](int half) {
+    benchutil::Report report;
+    if (half == 0) {
+      reproduce_dissection(report);
+    } else {
+      reproduce_detonation(1000, &report);
+    }
+    return report;
+  });
+  for (const auto& report : reports) report.dump();
 }
 
 void BM_DissectTrkSvr(benchmark::State& state) {
@@ -140,7 +158,7 @@ BENCHMARK(BM_DissectTrkSvr);
 
 void BM_FleetDetonation(benchmark::State& state) {
   for (auto _ : state) {
-    reproduce_detonation(static_cast<std::size_t>(state.range(0)), false);
+    reproduce_detonation(static_cast<std::size_t>(state.range(0)), nullptr);
   }
 }
 BENCHMARK(BM_FleetDetonation)->Arg(100)->Arg(500)
@@ -151,7 +169,6 @@ BENCHMARK(BM_FleetDetonation)->Arg(100)->Arg(500)
 int main(int argc, char** argv) {
   benchutil::header("FIG-6: Shamoon components + the Aramco detonation",
                     "Figure 6 — TrkSvr.exe dropper/wiper/reporter/x64");
-  reproduce_dissection();
-  reproduce_detonation(1000, /*print=*/true);
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

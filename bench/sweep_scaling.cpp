@@ -143,12 +143,12 @@ class LegacyTraceLog {
                             std::move(action), std::move(detail)});
   }
 
-  std::vector<Event> by_action(const std::string& action) const {
-    std::vector<Event> out;
-    for (const auto& e : events_) {
-      if (e.action == action) out.push_back(e);
-    }
-    return out;
+  /// Same shape as TraceLog::for_each_action, but routed through the seed's
+  /// copying query so the baseline keeps paying the scan + copy it shipped
+  /// with.
+  template <class Fn>
+  void for_each_action(const std::string& action, Fn&& fn) const {
+    for (const auto& e : by_action(action)) fn(e);
   }
 
   std::size_t count_action(const std::string& action) const {
@@ -162,6 +162,14 @@ class LegacyTraceLog {
   std::size_t size() const { return events_.size(); }
 
  private:
+  std::vector<Event> by_action(const std::string& action) const {
+    std::vector<Event> out;
+    for (const auto& e : events_) {
+      if (e.action == action) out.push_back(e);
+    }
+    return out;
+  }
+
   std::vector<Event> events_;
 };
 
@@ -180,13 +188,20 @@ std::size_t exercise_log(Log& log, std::size_t events) {
                kActions[i % kActionCount],
                "payload-" + std::to_string(i % 97));
   }
-  // The analysis pass: count the hot actions, materialise one of them —
-  // what the sandbox distillation + campaign summaries do per run.
+  // The analysis pass: count the hot actions, walk one of them — what the
+  // sandbox distillation + campaign summaries do per run. Uses only the
+  // count_*/for_each_* surface; the deprecated copying queries stay inside
+  // LegacyTraceLog where they are the thing being measured.
   std::size_t checksum = 0;
   for (std::size_t q = 0; q < kActionCount; ++q) {
     checksum += log.count_action(kActions[q]);
   }
-  checksum += log.by_action("file.write").size();
+  std::size_t writes = 0;
+  log.for_each_action("file.write", [&](const auto& event) {
+    (void)event;
+    ++writes;
+  });
+  checksum += writes;
   return checksum;
 }
 
@@ -282,7 +297,9 @@ BENCHMARK(BM_TraceRecordQueryInterned)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchutil::header("SWEEP-SCALING: parallel Monte-Carlo + trace hot path",
                     "framework performance, not a paper figure");
-  reproduce_sweep();
-  reproduce_trace_throughput();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) {
+    reproduce_sweep();
+    reproduce_trace_throughput();
+  }
   return benchutil::run_benchmarks(argc, argv);
 }

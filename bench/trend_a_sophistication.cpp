@@ -106,7 +106,7 @@ void reproduce() {
                 outcome.reached_airgap ? "REACHED" : "safe");
   }
   const auto& stats = sim::Sweep::last_stats();
-  std::printf("\n[sweep: %zu runs, %zu workers, %.1f ms wall, %.1f ms cpu]\n",
+  std::printf("\n[sweep: %zu runs, %u workers, %.1f ms wall, %.1f ms cpu]\n",
               stats.runs.size(), stats.workers, stats.wall_ms,
               stats.total_run_ms());
   std::printf("\nexpected shape: monotone reach; the LNK 0-day creates the "
@@ -127,6 +127,6 @@ BENCHMARK(BM_ThirtyDayCampaign)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchutil::header("TREND-A: sophistication — zero-days buy reach",
                     "Section V-A");
-  reproduce();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

@@ -165,6 +165,6 @@ BENCHMARK(BM_QuarterCampaign)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   benchutil::header("TREND-B: targeted vs mass malware", "Section V-B");
-  reproduce();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

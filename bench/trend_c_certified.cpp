@@ -149,6 +149,6 @@ BENCHMARK(BM_DriverLoadDecision);
 int main(int argc, char** argv) {
   benchutil::header("TREND-C: certified malware — three PKI abuses",
                     "Section V-C");
-  reproduce();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

@@ -168,6 +168,6 @@ BENCHMARK(BM_NinetyDayArmsRace)->Arg(0)->Arg(1)
 int main(int argc, char** argv) {
   benchutil::header("TREND-D: modular, self-updating malware vs AV",
                     "Section V-D");
-  reproduce();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

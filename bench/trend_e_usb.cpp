@@ -197,6 +197,6 @@ BENCHMARK(BM_CourierCrossing)->Arg(1)->Arg(7)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchutil::header("TREND-E: USB drives as the main targeted vector",
                     "Section V-E");
-  reproduce();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

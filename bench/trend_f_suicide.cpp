@@ -136,6 +136,6 @@ BENCHMARK(BM_ForensicSweep);
 int main(int argc, char** argv) {
   benchutil::header("TREND-F: suicide modules vs the forensics team",
                     "Section V-F");
-  reproduce();
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) reproduce();
   return benchutil::run_benchmarks(argc, argv);
 }

@@ -69,11 +69,32 @@ SpecimenFeatures extract_features(std::string_view bytes, int max_depth) {
 
 double similarity(const SpecimenFeatures& a, const SpecimenFeatures& b) {
   // Engineering artifacts (imports, section layout) weigh more than
-  // free-floating strings.
-  const double s_strings = jaccard(a.strings, b.strings);
-  const double s_imports = jaccard(a.imports, b.imports);
-  const double s_sections = jaccard(a.section_names, b.section_names);
-  return 0.4 * s_strings + 0.35 * s_imports + 0.25 * s_sections;
+  // free-floating strings. A feature class empty on *both* sides carries no
+  // evidence either way, so the weights are renormalized over the classes
+  // present in at least one operand — otherwise a specimen with, say, no
+  // extracted strings could never reach 1.0 against itself and every
+  // off-diagonal involving it would be silently deflated.
+  struct Class {
+    double weight;
+    const std::set<std::string>& lhs;
+    const std::set<std::string>& rhs;
+  };
+  const Class classes[] = {
+      {0.4, a.strings, b.strings},
+      {0.35, a.imports, b.imports},
+      {0.25, a.section_names, b.section_names},
+  };
+  double score = 0.0;
+  double active_weight = 0.0;
+  for (const auto& c : classes) {
+    if (c.lhs.empty() && c.rhs.empty()) continue;
+    score += c.weight * jaccard(c.lhs, c.rhs);
+    active_weight += c.weight;
+  }
+  // Every class empty on both sides: the feature sets are (vacuously)
+  // identical, so two featureless specimens compare as equal.
+  if (active_weight == 0.0) return 1.0;
+  return score / active_weight;
 }
 
 double specimen_similarity(std::string_view a, std::string_view b) {

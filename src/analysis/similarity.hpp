@@ -34,7 +34,10 @@ SpecimenFeatures extract_features(std::string_view bytes, int max_depth = 4);
 
 /// Jaccard-style similarity in [0,1]; imports and section names are
 /// weighted above incidental strings (shared engineering beats shared
-/// vocabulary).
+/// vocabulary). Weights are renormalized over the feature classes that are
+/// non-empty in at least one operand, so similarity(x, x) == 1.0 even for
+/// specimens missing whole classes; two entirely featureless specimens
+/// compare as 1.0 (vacuously identical feature sets).
 double similarity(const SpecimenFeatures& a, const SpecimenFeatures& b);
 double specimen_similarity(std::string_view a, std::string_view b);
 

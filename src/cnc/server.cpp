@@ -234,8 +234,26 @@ std::size_t CncServer::purge_retrieved(sim::Duration max_age) {
   return purged;
 }
 
+sim::Duration CncServer::purge_retention() const {
+  // The panel's own knob: settings.purge_minutes, seeded to 30 at install
+  // time. Read on every purge tick so operators can retune a live server.
+  if (const Table* settings = db_.find_table("settings")) {
+    for (const auto& [id, row] : settings->all()) {
+      auto it = row->find("purge_minutes");
+      if (it == row->end()) continue;
+      try {
+        return sim::minutes(std::stoll(it->second));
+      } catch (const std::exception&) {
+        break;  // unparseable: fall back to the install default
+      }
+    }
+  }
+  return 30 * sim::kMinute;
+}
+
 void CncServer::start_purge_task(sim::Duration period) {
-  purge_handle_ = sim_.every(period, [this] { purge_retrieved(0); });
+  purge_handle_ =
+      sim_.every(period, [this] { purge_retrieved(purge_retention()); });
 }
 
 void CncServer::stop_purge_task() { purge_handle_.cancel(); }

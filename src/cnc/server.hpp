@@ -81,7 +81,11 @@ class CncServer {
   std::vector<Entry> take_new_entries();
   /// Deletes retrieved entries older than `max_age`; the scheduled cleanup.
   std::size_t purge_retrieved(sim::Duration max_age);
-  /// Starts the 30-minute purge cycle.
+  /// Retention configured in the settings table (`purge_minutes`, seeded to
+  /// 30); falls back to 30 minutes when the row is missing or unparseable.
+  sim::Duration purge_retention() const;
+  /// Starts the periodic purge cycle; each tick deletes retrieved entries
+  /// older than purge_retention().
   void start_purge_task(sim::Duration period = 30 * sim::kMinute);
   void stop_purge_task();
 

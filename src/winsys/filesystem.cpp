@@ -80,12 +80,18 @@ const Volume* FileSystem::volume_of(const Path& p) const {
 bool FileSystem::mkdirs(const Path& dir) {
   Volume* vol = volume_of(dir);
   if (vol == nullptr) return false;
+  // Validate the whole component chain before touching the volume: a file
+  // blocking a deeper component must not leave freshly inserted ancestors
+  // behind (callers like write_file/rename treat a false return as "nothing
+  // happened").
+  std::vector<std::string> chain;
   std::string current;
   for (const auto& comp : dir.components()) {
     current = current.empty() ? comp : current + "\\" + comp;
     if (vol->files().contains(current)) return false;  // file in the way
-    vol->dirs().insert(current);
+    chain.push_back(current);
   }
+  for (auto& c : chain) vol->dirs().insert(std::move(c));
   return true;
 }
 

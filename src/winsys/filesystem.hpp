@@ -99,6 +99,8 @@ class FileSystem {
   std::vector<char> removable_letters() const;
 
   // --- file operations (paths must be absolute) ---
+  /// Creates the directory chain down to `dir`. All-or-nothing: when a file
+  /// blocks any component the volume is left untouched and false returns.
   bool mkdirs(const Path& dir);
   bool exists(const Path& p) const;
   bool is_dir(const Path& p) const;

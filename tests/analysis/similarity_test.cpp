@@ -123,6 +123,45 @@ TEST(SimilarityTest, MatrixIsSymmetricWithUnitDiagonal) {
   }
 }
 
+TEST(SimilarityTest, SelfSimilarityIsOneWithoutStrings) {
+  // A specimen with no extracted strings must still score 1.0 against
+  // itself: the empty-on-both-sides class is excluded from the weighting
+  // instead of contributing a silent zero (pre-fix this scored 0.6).
+  SpecimenFeatures f;
+  f.imports = {"kernel32.dll!CreateFileW", "advapi32.dll!RegSetValueExW"};
+  f.section_names = {".text", ".rdata"};
+  EXPECT_DOUBLE_EQ(similarity(f, f), 1.0);
+}
+
+TEST(SimilarityTest, SelfSimilarityIsOneForFeaturelessSpecimen) {
+  // No strings, no imports, no sections: vacuously identical feature sets.
+  SpecimenFeatures empty;
+  EXPECT_DOUBLE_EQ(similarity(empty, empty), 1.0);
+  // Short binary junk extracts nothing; self-comparison still holds.
+  const std::string blob("\x01\x02\x03\x04", 4);
+  EXPECT_DOUBLE_EQ(specimen_similarity(blob, blob), 1.0);
+}
+
+TEST(SimilarityTest, MissingClassDoesNotDeflateCrossScores) {
+  // Two string-less specimens sharing all imports and sections are as
+  // similar as the evidence can show — not capped at 0.6.
+  SpecimenFeatures a, b;
+  a.imports = b.imports = {"ws2_32.dll!send"};
+  a.section_names = {".text", ".pe1"};
+  b.section_names = {".text", ".pe2"};
+  // imports jaccard 1.0 (w 0.35), sections jaccard 1/3 (w 0.25), strings
+  // excluded: (0.35 + 0.25/3) / 0.6.
+  EXPECT_NEAR(similarity(a, b), (0.35 + 0.25 / 3.0) / 0.6, 1e-12);
+}
+
+TEST(SimilarityTest, FeaturelessAgainstFeaturedIsZero) {
+  SpecimenFeatures empty, featured;
+  featured.strings = {"platform loader"};
+  featured.imports = {"user32.dll!wsprintfW"};
+  EXPECT_DOUBLE_EQ(similarity(empty, featured), 0.0);
+  EXPECT_DOUBLE_EQ(similarity(featured, empty), 0.0);
+}
+
 TEST(SimilarityTest, GarbageBytesCompareViaStringsOnly) {
   // Non-PE blobs fall back to string features; shared runs still register.
   const std::string a = std::string("\x01", 1) + "platform loader v3" +

@@ -123,6 +123,60 @@ TEST_F(CncServerTest, MalformedRequestsRejected) {
   EXPECT_EQ(server_.handle(bad_upload).status, 400);
 }
 
+TEST_F(CncServerTest, ParsePayloadsRejectsTruncatedLengthFields) {
+  std::vector<Payload> payloads{{"module-a", "0123456789"}};
+  const common::Bytes good = serialize_payloads(payloads);
+  // Chop the buffer at every prefix length: a reader must never crash or
+  // fabricate payloads out of half a length field.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_TRUE(parse_payloads(good.substr(0, cut)).empty()) << cut;
+  }
+  EXPECT_EQ(parse_payloads(good).size(), 1u);
+}
+
+TEST_F(CncServerTest, ParsePayloadsRejectsLyingCount) {
+  // Header advertises 3 payloads, body carries only 1.
+  std::vector<Payload> payloads{{"module-a", "bytes"}};
+  common::Bytes lying = serialize_payloads(payloads);
+  lying[4] = 3;  // count is little-endian at offset 4
+  EXPECT_TRUE(parse_payloads(lying).empty());
+  // Huge declared name length cannot read out of bounds either.
+  common::Bytes huge("PLS1");
+  common::put_u32(huge, 1);
+  common::put_u32(huge, 0xffffffffu);  // name_len far past the buffer
+  huge.append("abc");
+  EXPECT_TRUE(parse_payloads(huge).empty());
+}
+
+TEST_F(CncServerTest, AddEntryRejectsTruncatedUploads) {
+  auto upload = add_entry("victim", "doc.7z", "contents");
+  const common::Bytes good = upload.body;
+  // Every cut inside the length-framed prefix (UPL1 + name_len + name +
+  // ENC1 blob header) must be rejected; past that the wire format carries
+  // no more framing (the ciphertext is the rest of the body by design).
+  const std::size_t framed = 8 + std::string("doc.7z").size() + 12;
+  for (std::size_t cut = 0; cut < framed; ++cut) {
+    auto r = upload;
+    r.body = good.substr(0, cut);
+    EXPECT_EQ(server_.handle(r).status, 400) << cut;
+  }
+  EXPECT_TRUE(server_.entries().empty());
+  EXPECT_EQ(server_.upload_count(), 0u);
+  // The untruncated original is still accepted afterwards.
+  EXPECT_TRUE(server_.handle(upload).ok());
+  EXPECT_EQ(server_.entries().size(), 1u);
+}
+
+TEST_F(CncServerTest, AddEntryRejectsLyingNameLength) {
+  auto r = add_entry("victim", "doc", "contents");
+  common::Bytes body("UPL1");
+  common::put_u32(body, 0xfffffff0u);  // name_len far past the buffer
+  body.append("doc");
+  r.body = body;
+  EXPECT_EQ(server_.handle(r).status, 400);
+  EXPECT_TRUE(server_.entries().empty());
+}
+
 TEST_F(CncServerTest, AttackCenterCollectsAndDecrypts) {
   server_.handle(add_entry("victim-1", "cad.dwg", "centrifuge drawing"));
   server_.handle(add_entry("victim-2", "mail.pst", "inbox archive"));
@@ -164,6 +218,44 @@ TEST_F(CncServerTest, PurgeTaskRunsEvery30Minutes) {
   EXPECT_EQ(server_.entries().size(), 1u);
   simulation_.run_for(31 * sim::kMinute);
   EXPECT_TRUE(server_.entries().empty());
+}
+
+TEST_F(CncServerTest, PurgeTaskHonorsConfiguredRetention) {
+  // Ticks at 10/20/30 minutes; the entry is retrieved immediately but must
+  // survive until it is 30 (configured) minutes old — the pre-fix task
+  // passed max_age 0 and deleted it on the very first tick.
+  server_.start_purge_task(10 * sim::kMinute);
+  server_.handle(add_entry("a", "loot.7z", "data"));
+  center_.collect();
+  simulation_.run_for(15 * sim::kMinute);
+  EXPECT_EQ(server_.entries().size(), 1u);
+  simulation_.run_for(20 * sim::kMinute);  // tick at 30 min: now past retention
+  EXPECT_TRUE(server_.entries().empty());
+}
+
+TEST_F(CncServerTest, PurgeMinutesSettingRoundTrips) {
+  EXPECT_EQ(server_.purge_retention(), 30 * sim::kMinute);
+  auto& settings = server_.db().table("settings");
+  Row* row = settings.find(settings.all().front().first);
+  ASSERT_NE(row, nullptr);
+  (*row)["purge_minutes"] = "5";
+  EXPECT_EQ(server_.purge_retention(), 5 * sim::kMinute);
+
+  server_.start_purge_task(2 * sim::kMinute);
+  server_.handle(add_entry("a", "doc", "x"));
+  center_.collect();
+  simulation_.run_for(4 * sim::kMinute);  // 4 < 5: retention still covers it
+  EXPECT_EQ(server_.entries().size(), 1u);
+  simulation_.run_for(2 * sim::kMinute);  // tick at 6 min: older than 5
+  EXPECT_TRUE(server_.entries().empty());
+}
+
+TEST_F(CncServerTest, UnparseablePurgeMinutesFallsBackToDefault) {
+  auto& settings = server_.db().table("settings");
+  Row* row = settings.find(settings.all().front().first);
+  ASSERT_NE(row, nullptr);
+  (*row)["purge_minutes"] = "soon(tm)";
+  EXPECT_EQ(server_.purge_retention(), 30 * sim::kMinute);
 }
 
 TEST_F(CncServerTest, DatabaseTracksClientContacts) {

@@ -1,0 +1,182 @@
+#include "bench_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace cyd::benchdiff {
+namespace {
+
+// A realistic google-benchmark dump, trimmed to the fields bench_diff reads
+// plus the surrounding noise it must ignore.
+std::string dump(double fig_ms, double forge_ns) {
+  return R"({
+  "context": {
+    "date": "2026-08-06T12:00:00+00:00",
+    "host_name": "ci",
+    "executable": "./bench/fig_x",
+    "num_cpus": 8,
+    "caches": [{"type": "Unified", "level": 1, "size": 32768}]
+  },
+  "benchmarks": [
+    {
+      "name": "BM_Campaign/8",
+      "run_name": "BM_Campaign/8",
+      "run_type": "iteration",
+      "repetitions": 1,
+      "iterations": 10,
+      "real_time": )" + std::to_string(fig_ms) + R"(,
+      "cpu_time": )" + std::to_string(fig_ms * 0.9) + R"(,
+      "time_unit": "ms"
+    },
+    {
+      "name": "BM_ForgeCertificate",
+      "run_name": "BM_ForgeCertificate",
+      "run_type": "iteration",
+      "repetitions": 1,
+      "iterations": 5000,
+      "real_time": )" + std::to_string(forge_ns) + R"(,
+      "cpu_time": )" + std::to_string(forge_ns) + R"(,
+      "time_unit": "ns"
+    }
+  ]
+})";
+}
+
+TEST(BenchDiffTest, IdenticalRunsPass) {
+  const auto baseline = dump(120.0, 4200.0);
+  const auto result = compare(baseline, baseline, Options{});
+  EXPECT_TRUE(result.ok(false));
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.regression_count(), 0u);
+  for (const auto& row : result.rows) EXPECT_DOUBLE_EQ(row.ratio, 1.0);
+}
+
+TEST(BenchDiffTest, TwofoldSlowdownFails) {
+  const auto result =
+      compare(dump(120.0, 4200.0), dump(240.0, 4200.0), Options{});
+  EXPECT_FALSE(result.ok(false));
+  ASSERT_EQ(result.regression_count(), 1u);
+  const auto& slow = result.rows.front();
+  EXPECT_EQ(slow.name, "BM_Campaign/8");
+  EXPECT_TRUE(slow.regression);
+  EXPECT_NEAR(slow.ratio, 2.0, 1e-9);
+}
+
+TEST(BenchDiffTest, SlowdownWithinTolerancePasses) {
+  // +8% against the default 10% tolerance.
+  const auto result =
+      compare(dump(100.0, 4200.0), dump(108.0, 4200.0), Options{});
+  EXPECT_TRUE(result.ok(false));
+  EXPECT_EQ(result.regression_count(), 0u);
+}
+
+TEST(BenchDiffTest, SpeedupIsNeverARegression) {
+  const auto result =
+      compare(dump(120.0, 4200.0), dump(30.0, 1000.0), Options{});
+  EXPECT_TRUE(result.ok(false));
+}
+
+TEST(BenchDiffTest, PerBenchmarkOverrideWidensTheLimit) {
+  Options options;
+  options.overrides["BM_Campaign/8"] = 1.5;  // up to 2.5x allowed
+  const auto result =
+      compare(dump(120.0, 4200.0), dump(240.0, 4200.0), options);
+  EXPECT_TRUE(result.ok(false));
+
+  // ...and a tight override flags what the default would have let through.
+  Options strict;
+  strict.overrides["BM_ForgeCertificate"] = 0.01;
+  const auto flagged =
+      compare(dump(120.0, 4200.0), dump(120.0, 4500.0), strict);
+  EXPECT_EQ(flagged.regression_count(), 1u);
+  EXPECT_EQ(flagged.rows[1].name, "BM_ForgeCertificate");
+  EXPECT_TRUE(flagged.rows[1].regression);
+}
+
+TEST(BenchDiffTest, TimeUnitsAreNormalized) {
+  // 1 ms baseline vs 1,000,000 ns current: equal after normalization.
+  const std::string baseline = R"({"benchmarks": [
+    {"name": "BM_X", "run_type": "iteration", "real_time": 1.0,
+     "cpu_time": 1.0, "time_unit": "ms"}]})";
+  const std::string current = R"({"benchmarks": [
+    {"name": "BM_X", "run_type": "iteration", "real_time": 1000000.0,
+     "cpu_time": 1000000.0, "time_unit": "ns"}]})";
+  const auto result = compare(baseline, current, Options{});
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.rows[0].ratio, 1.0);
+  EXPECT_FALSE(result.rows[0].regression);
+}
+
+TEST(BenchDiffTest, MissingBenchmarkFailsUnlessAllowed) {
+  const std::string current = R"({"benchmarks": [
+    {"name": "BM_Campaign/8", "run_type": "iteration", "real_time": 120.0,
+     "cpu_time": 110.0, "time_unit": "ms"}]})";
+  const auto result = compare(dump(120.0, 4200.0), current, Options{});
+  ASSERT_EQ(result.missing.size(), 1u);
+  EXPECT_EQ(result.missing[0], "BM_ForgeCertificate");
+  EXPECT_FALSE(result.ok(/*allow_missing=*/false));
+  EXPECT_TRUE(result.ok(/*allow_missing=*/true));
+}
+
+TEST(BenchDiffTest, AddedBenchmarkIsReportedNotFailed) {
+  const auto result =
+      compare(R"({"benchmarks": []})", dump(120.0, 4200.0), Options{});
+  EXPECT_TRUE(result.ok(false));
+  EXPECT_EQ(result.added.size(), 2u);
+}
+
+TEST(BenchDiffTest, AggregateRowsAreSkipped) {
+  // --benchmark_repetitions emits mean/median/stddev aggregates; only the
+  // per-iteration rows should be matched.
+  const std::string with_aggregates = R"({"benchmarks": [
+    {"name": "BM_X", "run_type": "iteration", "real_time": 10.0,
+     "cpu_time": 10.0, "time_unit": "ms"},
+    {"name": "BM_X_mean", "run_type": "aggregate", "real_time": 999.0,
+     "cpu_time": 999.0, "time_unit": "ms"}]})";
+  const auto times = extract_times(with_aggregates, "real_time");
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times.at("BM_X"), 10.0 * 1e6);
+}
+
+TEST(BenchDiffTest, CpuTimeMetricIsSelectable) {
+  Options options;
+  options.metric = "cpu_time";
+  // real_time doubles but cpu_time is flat: cpu_time comparison passes.
+  const std::string baseline = R"({"benchmarks": [
+    {"name": "BM_X", "run_type": "iteration", "real_time": 10.0,
+     "cpu_time": 8.0, "time_unit": "ms"}]})";
+  const std::string current = R"({"benchmarks": [
+    {"name": "BM_X", "run_type": "iteration", "real_time": 20.0,
+     "cpu_time": 8.0, "time_unit": "ms"}]})";
+  EXPECT_TRUE(compare(baseline, current, options).ok(false));
+  EXPECT_FALSE(compare(baseline, current, Options{}).ok(false));
+}
+
+TEST(BenchDiffTest, MalformedJsonThrows) {
+  EXPECT_THROW(extract_times("{\"benchmarks\": [", "real_time"),
+               std::runtime_error);
+  EXPECT_THROW(extract_times("not json at all", "real_time"),
+               std::runtime_error);
+  EXPECT_THROW(extract_times("{\"context\": {}}", "real_time"),
+               std::runtime_error);  // no benchmarks array
+  EXPECT_THROW(extract_times(dump(1.0, 1.0), "wall_time"),
+               std::runtime_error);  // unknown metric
+}
+
+TEST(BenchDiffTest, JsonParserHandlesEscapesAndNesting) {
+  const auto doc = detail::parse_json(
+      R"({"a": [1, -2.5e3, true, false, null], "s": "q\"\\\n\t", "o": {}})");
+  const auto* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 5u);
+  EXPECT_DOUBLE_EQ(a->items[1].number, -2500.0);
+  const auto* s = doc.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->str, "q\"\\\n\t");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace cyd::benchdiff

@@ -55,6 +55,39 @@ TEST_F(FileSystemTest, CannotMkdirOverFile) {
   EXPECT_FALSE(fs_.mkdirs("c:\\file\\sub"));
 }
 
+TEST_F(FileSystemTest, FailedMkdirsLeavesDirectoryTreeUntouched) {
+  // A file dropped straight onto the volume (the USB/infection modules write
+  // through Volume::files() directly) blocks a mid-chain component. The
+  // pre-fix loop had already inserted the fresh ancestor "a" by the time it
+  // saw the blocking file, mutating the tree on a failed call.
+  Volume* vol = fs_.volume('c');
+  vol->files()["a\\blocker"] = FileNode{};
+  const auto before = vol->dirs();
+  EXPECT_FALSE(fs_.mkdirs("c:\\a\\blocker\\deep\\er"));
+  EXPECT_EQ(vol->dirs(), before);
+  EXPECT_FALSE(fs_.is_dir("c:\\a"));
+}
+
+TEST_F(FileSystemTest, FailedWriteLeavesNoPhantomDirs) {
+  Volume* vol = fs_.volume('c');
+  vol->files()["a\\blocker"] = FileNode{};
+  const auto before = vol->dirs();
+  EXPECT_FALSE(fs_.write_file("c:\\a\\blocker\\sub\\f.txt", "data", 7));
+  EXPECT_EQ(vol->dirs(), before);
+  EXPECT_FALSE(fs_.is_file("c:\\a\\blocker\\sub\\f.txt"));
+}
+
+TEST_F(FileSystemTest, FailedRenameLeavesNoPhantomDirs) {
+  fs_.write_file("c:\\src.txt", "content", 0);
+  Volume* vol = fs_.volume('c');
+  vol->files()["a\\blocker"] = FileNode{};
+  const auto before = vol->dirs();
+  EXPECT_FALSE(
+      fs_.rename("c:\\src.txt", "c:\\a\\blocker\\sub\\dst.txt", 1));
+  EXPECT_EQ(vol->dirs(), before);
+  EXPECT_EQ(fs_.read_file("c:\\src.txt"), "content");
+}
+
 TEST_F(FileSystemTest, DeleteLeavesRecoverableTombstone) {
   fs_.write_file("c:\\docs\\plan.docx", "the plan", 100);
   EXPECT_TRUE(fs_.delete_file("c:\\docs\\plan.docx", 200));

@@ -1,0 +1,304 @@
+#include "bench_diff.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cyd::benchdiff {
+namespace detail {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("bench_diff: JSON error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.str = parse_string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail("bad literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail("bad literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Benchmark names are ASCII; keep \uXXXX lossy-but-lossless
+          // enough by emitting the low byte.
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          out.push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("malformed number");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = value;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace detail
+
+namespace {
+
+double unit_to_ns(const std::string& unit) {
+  if (unit == "ns") return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  throw std::runtime_error("bench_diff: unknown time_unit \"" + unit + "\"");
+}
+
+}  // namespace
+
+std::map<std::string, double> extract_times(std::string_view json,
+                                            const std::string& metric) {
+  if (metric != "real_time" && metric != "cpu_time") {
+    throw std::runtime_error("bench_diff: unknown metric \"" + metric +
+                             "\" (use real_time or cpu_time)");
+  }
+  const auto doc = detail::parse_json(json);
+  const auto* benchmarks = doc.find("benchmarks");
+  if (benchmarks == nullptr ||
+      benchmarks->kind != detail::JsonValue::Kind::kArray) {
+    throw std::runtime_error(
+        "bench_diff: document has no \"benchmarks\" array");
+  }
+  std::map<std::string, double> out;
+  for (const auto& entry : benchmarks->items) {
+    const auto* run_type = entry.find("run_type");
+    if (run_type != nullptr && run_type->str != "iteration") continue;
+    const auto* name = entry.find("name");
+    const auto* time = entry.find(metric);
+    if (name == nullptr || time == nullptr) continue;
+    double scale = 1.0;  // google-benchmark defaults to ns when unit absent
+    if (const auto* unit = entry.find("time_unit")) {
+      scale = unit_to_ns(unit->str);
+    }
+    out.emplace(name->str, time->number * scale);  // first run wins
+  }
+  return out;
+}
+
+std::size_t Result::regression_count() const {
+  std::size_t n = 0;
+  for (const auto& row : rows) {
+    if (row.regression) ++n;
+  }
+  return n;
+}
+
+bool Result::ok(bool allow_missing) const {
+  if (regression_count() > 0) return false;
+  return allow_missing || missing.empty();
+}
+
+Result compare(std::string_view baseline_json, std::string_view current_json,
+               const Options& options) {
+  const auto baseline = extract_times(baseline_json, options.metric);
+  auto current = extract_times(current_json, options.metric);
+
+  Result result;
+  for (const auto& [name, baseline_ns] : baseline) {
+    auto it = current.find(name);
+    if (it == current.end()) {
+      result.missing.push_back(name);
+      continue;
+    }
+    Comparison row;
+    row.name = name;
+    row.baseline_ns = baseline_ns;
+    row.current_ns = it->second;
+    row.ratio = baseline_ns > 0.0 ? it->second / baseline_ns : 0.0;
+    auto override_it = options.overrides.find(name);
+    row.tolerance = override_it != options.overrides.end()
+                        ? override_it->second
+                        : options.tolerance;
+    row.regression =
+        baseline_ns > 0.0 && row.ratio > 1.0 + row.tolerance;
+    result.rows.push_back(std::move(row));
+    current.erase(it);
+  }
+  for (const auto& [name, ns] : current) result.added.push_back(name);
+  return result;
+}
+
+}  // namespace cyd::benchdiff

@@ -1,0 +1,88 @@
+#pragma once
+// bench_diff — compares two google-benchmark JSON dumps and flags timing
+// regressions.
+//
+// The workflow: `bench_smoke` runs every bench binary with reduced
+// iterations and writes BENCH_<name>.json; bench_diff matches the fresh
+// numbers against the committed baseline by benchmark name and fails when a
+// case slowed down past its tolerance. Faster-than-baseline is never an
+// error (it is reported, so baselines can be refreshed when wins land).
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cyd::benchdiff {
+
+namespace detail {
+
+/// Just enough JSON for google-benchmark output: objects, arrays, strings
+/// with escapes, numbers, bools, null. No dependency on a JSON library —
+/// the toolchain image ships none.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  /// First member with this key; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document. Throws std::runtime_error (with a byte
+/// offset in the message) on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace detail
+
+struct Options {
+  /// Allowed relative slowdown: current <= baseline * (1 + tolerance).
+  double tolerance = 0.10;
+  /// Per-benchmark tolerance overrides, keyed by exact benchmark name.
+  std::map<std::string, double> overrides;
+  /// Which timing field to compare: "real_time" or "cpu_time".
+  std::string metric = "real_time";
+  /// When true, benchmarks present in the baseline but missing from the
+  /// current run are reported but do not fail the comparison.
+  bool allow_missing = false;
+};
+
+/// One matched benchmark, times normalized to nanoseconds.
+struct Comparison {
+  std::string name;
+  double baseline_ns = 0.0;
+  double current_ns = 0.0;
+  double ratio = 0.0;      // current / baseline
+  double tolerance = 0.0;  // limit applied to this row
+  bool regression = false;
+};
+
+struct Result {
+  std::vector<Comparison> rows;      // matched, in baseline order
+  std::vector<std::string> missing;  // in baseline, absent from current
+  std::vector<std::string> added;    // in current, absent from baseline
+
+  std::size_t regression_count() const;
+  /// True when nothing regressed (and, unless allow_missing, nothing
+  /// disappeared).
+  bool ok(bool allow_missing) const;
+};
+
+/// Extracts {benchmark name -> metric in ns} from a google-benchmark JSON
+/// document. Aggregate rows (mean/median/stddev from --benchmark_repetitions)
+/// are skipped; repeated names keep their first occurrence. Throws
+/// std::runtime_error on malformed JSON or an unknown metric/time unit.
+std::map<std::string, double> extract_times(std::string_view json,
+                                            const std::string& metric);
+
+/// Compares two google-benchmark JSON documents. Throws std::runtime_error
+/// when either document is malformed.
+Result compare(std::string_view baseline_json, std::string_view current_json,
+               const Options& options);
+
+}  // namespace cyd::benchdiff

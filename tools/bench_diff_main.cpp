@@ -1,0 +1,127 @@
+// bench_diff CLI — see bench_diff.hpp for the comparison rules.
+//
+// usage: bench_diff [--tolerance F] [--override NAME=F ...]
+//                   [--metric real_time|cpu_time] [--allow-missing]
+//                   <baseline.json> <current.json>
+//
+// exit 0: no regressions; exit 1: regressions (or baselines missing from
+// the current run, unless --allow-missing); exit 2: usage / IO / parse
+// errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_diff.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff [--tolerance F] [--override NAME=F ...]\n"
+               "                  [--metric real_time|cpu_time] "
+               "[--allow-missing]\n"
+               "                  <baseline.json> <current.json>\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cyd::benchdiff::Options options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance") {
+      if (++i >= argc) return usage();
+      options.tolerance = std::strtod(argv[i], nullptr);
+    } else if (arg == "--override") {
+      if (++i >= argc) return usage();
+      const std::string spec = argv[i];
+      const auto eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) return usage();
+      options.overrides[spec.substr(0, eq)] =
+          std::strtod(spec.c_str() + eq + 1, nullptr);
+    } else if (arg == "--metric") {
+      if (++i >= argc) return usage();
+      options.metric = argv[i];
+    } else if (arg == "--allow-missing") {
+      options.allow_missing = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_diff: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) return usage();
+
+  std::string baseline_json, current_json;
+  if (!read_file(files[0], baseline_json)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", files[0].c_str());
+    return 2;
+  }
+  if (!read_file(files[1], current_json)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", files[1].c_str());
+    return 2;
+  }
+
+  cyd::benchdiff::Result result;
+  try {
+    result = cyd::benchdiff::compare(baseline_json, current_json, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::printf("%-44s %12s %12s %7s %7s  %s\n", "benchmark", "baseline-ns",
+              "current-ns", "ratio", "limit", "verdict");
+  for (const auto& row : result.rows) {
+    std::printf("%-44s %12.0f %12.0f %7.2f %7.2f  %s\n", row.name.c_str(),
+                row.baseline_ns, row.current_ns, row.ratio,
+                1.0 + row.tolerance, row.regression ? "REGRESSION" : "ok");
+  }
+  for (const auto& name : result.missing) {
+    std::printf("%-44s %12s %12s %7s %7s  %s\n", name.c_str(), "-", "-", "-",
+                "-",
+                options.allow_missing ? "missing (allowed)" : "MISSING");
+  }
+  for (const auto& name : result.added) {
+    std::printf("%-44s %12s %12s %7s %7s  %s\n", name.c_str(), "-", "-", "-",
+                "-", "new (no baseline; re-capture to track)");
+  }
+
+  if (result.ok(options.allow_missing)) {
+    std::printf("\nbench_diff: %zu benchmark(s) compared, no regressions\n",
+                result.rows.size());
+    return 0;
+  }
+  std::fprintf(stderr, "\nbench_diff: FAILED —");
+  if (result.regression_count() > 0) {
+    std::fprintf(stderr, " %zu regression(s):", result.regression_count());
+    for (const auto& row : result.rows) {
+      if (row.regression) {
+        std::fprintf(stderr, " %s (%.2fx > %.2fx)", row.name.c_str(),
+                     row.ratio, 1.0 + row.tolerance);
+      }
+    }
+  }
+  if (!options.allow_missing && !result.missing.empty()) {
+    std::fprintf(stderr, " %zu baseline benchmark(s) missing from the "
+                         "current run", result.missing.size());
+  }
+  std::fprintf(stderr, "\n");
+  return 1;
+}
