@@ -1,0 +1,141 @@
+#pragma once
+// Small-buffer-optimized move-only callable — the event queue's closure type.
+//
+// std::function was the wrong tool for the scheduler hot path: it requires
+// copyability (so captures get copied even when they never need to be) and
+// heap-allocates any capture list past its tiny internal buffer, which on
+// this codebase meant one allocation per scheduled event. EventFn keeps
+// kInlineSize bytes of aligned storage in-object; every capture list up to
+// that size (a `this` pointer plus a handful of references/ints — all the
+// schedulers in src/ qualify) is stored inline and scheduling it costs zero
+// allocations. Larger or potentially-throwing-on-move callables fall back to
+// a single heap cell so nothing breaks, it just stops being free.
+//
+// Move-only on purpose: an event fires once (or is owned by exactly one
+// periodic slot), so copyability buys nothing and would force every capture
+// to be copyable. Moves are noexcept — required so slab/vector growth can
+// relocate slots — which is also why only nothrow-move types qualify for
+// inline storage.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cyd::sim {
+
+class EventFn {
+ public:
+  /// Inline capture budget. 48 bytes holds six pointer-sized captures (or a
+  /// whole std::function, so legacy call sites that pass one still avoid a
+  /// second indirection layer).
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    if constexpr (stored_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = &Impl<D, /*Inline=*/true>::invoke;
+      ops_ = &kOps<D, /*Inline=*/true>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      invoke_ = &Impl<D, /*Inline=*/false>::invoke;
+      ops_ = &kOps<D, /*Inline=*/false>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // The invoke pointer is stored directly (not behind Ops) so the scheduler's
+  // per-event dispatch is one dependent load, not two.
+  void operator()() { invoke_(storage_); }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+      invoke_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type D lives in the inline buffer (exposed so
+  /// the allocation tests can assert their closures actually qualify).
+  template <typename D>
+  static constexpr bool stored_inline =
+      sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<D>;
+
+ private:
+  struct Ops {
+    // Move-construct dst's payload from src and leave src empty; noexcept so
+    // EventFn's own moves are (vector relocation depends on it).
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D, bool Inline>
+  struct Impl {
+    static D* get(void* s) noexcept {
+      if constexpr (Inline) {
+        return std::launder(reinterpret_cast<D*>(s));
+      } else {
+        return *std::launder(reinterpret_cast<D**>(s));
+      }
+    }
+    static void invoke(void* s) { (*get(s))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      if constexpr (Inline) {
+        D* p = get(src);
+        ::new (dst) D(std::move(*p));
+        p->~D();
+      } else {
+        ::new (dst) D*(get(src));  // steal the heap cell, nothing to destroy
+      }
+    }
+    static void destroy(void* s) noexcept {
+      if constexpr (Inline) {
+        get(s)->~D();
+      } else {
+        delete get(s);
+      }
+    }
+  };
+
+  template <typename D, bool Inline>
+  static constexpr Ops kOps{&Impl<D, Inline>::relocate,
+                            &Impl<D, Inline>::destroy};
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    invoke_ = other.invoke_;
+    if (ops_) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+      other.invoke_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  void (*invoke_)(void*) = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace cyd::sim

@@ -2,50 +2,101 @@
 // The discrete-event scheduler at the heart of every scenario.
 //
 // Events are (time, sequence, closure) triples; ties on time break by
-// insertion order so simulations stay deterministic. Recurring events are
-// expressed by re-scheduling from inside the closure or via
-// schedule_periodic(), which returns a handle that can cancel the series
-// (e.g. Flame's C&C purge task stops when the server is seized).
+// insertion order so simulations stay deterministic. Recurring events go
+// through schedule_every(), which keeps the whole series in one slot — one
+// closure, re-armed in place each firing — and returns a handle that cancels
+// the series (e.g. Flame's C&C purge task stops when the server is seized).
+//
+// The implementation is built for allocation-free steady state, because the
+// Monte-Carlo sweeps push millions of events per run through this queue:
+//
+//  - closures are sim::EventFn (event_fn.hpp): small capture lists live in
+//    48 bytes of in-object storage, no heap closure per event;
+//  - event payloads live in a chunked slab of generation-counted slots
+//    recycled through a free list; chunks never move, so closures fire in
+//    place — no per-event relocation — and EventHandle is a
+//    trivially-copyable {queue, slot, generation} triple, not a
+//    shared_ptr<bool> control block;
+//  - the pending set is a 4-ary min-heap over compact 16-byte
+//    {time, seq|slot} keys — sift operations move 16 bytes, payloads never
+//    move — with the slot's heap index maintained so cancel_now() can do an
+//    eager O(log n) removal next to the default lazy cancellation.
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace cyd::sim {
 
-using EventFn = std::function<void()>;
+class EventQueue;
 
-/// Cancellation handle for scheduled events. Copyable; cancelling any copy
-/// cancels the event (or the whole periodic series).
+/// Cancellation handle for scheduled events. Trivially copyable; cancelling
+/// any copy cancels the event (or the whole periodic series). A handle is
+/// pinned to one (slot, generation) pair, so a handle whose event already
+/// fired is inert — cancel() is a no-op and cancelled() reports false —
+/// even after the slot is recycled for a new event. Handles must not outlive
+/// their EventQueue.
 class EventHandle {
  public:
-  EventHandle() : cancelled_(std::make_shared<bool>(false)) {}
-  void cancel() { *cancelled_ = true; }
-  bool cancelled() const { return *cancelled_; }
+  EventHandle() noexcept = default;
+
+  void cancel();
+  bool cancelled() const;
+  /// True while the event (or the next firing of the series) is still
+  /// scheduled; false once it ran, was cancelled, or for a default handle.
+  bool pending() const;
 
  private:
-  std::shared_ptr<bool> cancelled_;
+  friend class EventQueue;
+  EventHandle(EventQueue* queue, std::uint32_t slot,
+              std::uint32_t generation) noexcept
+      : queue_(queue), slot_(slot), generation_(generation) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
+static_assert(std::is_trivially_copyable_v<EventHandle>);
 
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Absolute-time scheduling. Events scheduled in the past run at the
   /// current front of the queue (time does not go backwards).
   EventHandle schedule_at(TimePoint t, EventFn fn);
 
-  TimePoint now() const { return now_; }
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  /// Periodic scheduling: `fn` first runs at `first` (clamped to now), then
+  /// every `period` (clamped to 1ms) until the handle is cancelled. The
+  /// whole series reuses one slot and one closure — a steady-state firing of
+  /// an inline-sized closure performs zero heap allocations.
+  EventHandle schedule_every(Duration period, EventFn fn, TimePoint first);
 
-  /// Runs the next event; returns false when the queue is empty.
+  /// Eagerly removes a pending event from the heap, O(log n), freeing its
+  /// slot immediately. Equivalent to handle.cancel() (which marks the entry
+  /// and lets the pop path discard it) but reclaims slab+heap space now —
+  /// use it when cancelling large batches long before their due time.
+  void cancel_now(EventHandle handle);
+
+  TimePoint now() const { return now_; }
+  bool empty() const { return live_ == 0; }
+  /// Number of live (non-cancelled) scheduled events.
+  std::size_t pending() const { return live_; }
+
+  /// Runs the next event; returns false when no runnable event remains.
   bool step();
 
-  /// Runs until the queue drains or `deadline` passes; the clock is left at
-  /// min(deadline, time of last event). Returns number of events executed.
+  /// Runs events with time <= `deadline` until none remain, then advances
+  /// the clock to `deadline` — even when the queue drained early or was
+  /// empty to begin with, so back-to-back run_until calls tile a timeline.
+  /// Returns number of events executed.
   std::size_t run_until(TimePoint deadline);
 
   /// Outcome of run_all(): how many events ran, and whether the drain was
@@ -62,27 +113,116 @@ class EventQueue {
   /// callers must not mistake a cut-off run for a drained queue.
   DrainResult run_all(std::size_t max_events = 50'000'000);
 
+  /// Lifetime scheduler counters, for observability and the scaling bench.
+  /// `scheduled` counts schedule_at/schedule_every calls plus periodic
+  /// re-arms; `executed` counts closures actually run; `cancelled` counts
+  /// effective cancellations (one per event or series, not per cancel()
+  /// call); `peak_pending` is the high-water mark of live events.
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cancelled = 0;
+    std::size_t peak_pending = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
-  /// Pops cancelled entries off the front; true when a runnable event
-  /// remains. Used to avoid reporting truncation over dead entries.
+  friend class EventHandle;
+
+  // Heap keys pack the tie-breaking sequence number (high 40 bits) with the
+  // slab slot (low 24 bits) into one word: comparing `order` compares seq,
+  // since sequence numbers are unique. 2^40 events and 2^24 concurrently
+  // pending slots are enforced ceilings, not silent wraparounds.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint32_t kNullIndex = 0xffffffffu;
+
+  struct HeapKey {
+    TimePoint time;
+    std::uint64_t order;
+  };
+  // Bitwise, not short-circuit: event times are data-dependent, so feeding
+  // the sift loops an unpredictable extra branch costs more than the flat
+  // comparison (order fields are unique, making the result total).
+  static bool earlier(const HeapKey& a, const HeapKey& b) {
+    return (a.time < b.time) | ((a.time == b.time) & (a.order < b.order));
+  }
+
+  // Hot metadata first so the pop/cancel path reads one cache line; the
+  // 48-byte closure buffer sits behind it and is only touched when firing.
+  struct Slot {
+    Duration period = 0;  // >0 marks a periodic series
+    std::uint32_t generation = 0;
+    std::uint32_t heap_index = kNullIndex;  // kNullIndex while firing / free
+    std::uint32_t next_free = kNullIndex;
+    bool cancelled = false;
+    EventFn fn;
+  };
+
+  // Slots live in fixed-size chunks that never move, so a closure can fire
+  // in place even when its callback grows the slab, and no EventFn is ever
+  // relocated after scheduling. Chunk allocations amortise to zero in
+  // steady state (the free list recycles slots).
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 slots per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  Slot& slot(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+  const Slot& slot(std::uint32_t index) const {
+    return chunks_[index >> kChunkShift][index & (kChunkSize - 1)];
+  }
+
+  std::uint32_t allocate_slot();
+  void release_slot(Slot& s, std::uint32_t index);  // no generation bump
+  void free_slot(std::uint32_t index);
+  void push_key(TimePoint time, std::uint32_t slot);
+
+  void sift_up(std::size_t index, HeapKey key);
+  void sift_down(std::size_t index, HeapKey key);
+  void remove_heap_index(std::size_t index);
+  std::uint32_t pop_front();
+
+  /// Pops the front key and runs or discards it: returns 1 when the event
+  /// executed, 0 when the front was a cancelled tombstone (slot recycled,
+  /// nothing run). The single per-event hot path.
+  std::size_t step_front();
+
+  /// Pops cancelled entries off the front (recycling their slots); true when
+  /// a runnable event remains. Used to avoid reporting truncation over dead
+  /// entries.
   bool prune_cancelled();
 
-  struct Entry {
-    TimePoint time;
-    std::uint64_t seq;
-    EventFn fn;
-    EventHandle handle;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  bool handle_live(const EventHandle& h) const {
+    return h.queue_ != nullptr && h.slot_ < slot_count_ &&
+           slot(h.slot_).generation == h.generation_;
+  }
+  void handle_cancel(const EventHandle& h);
+  bool handle_cancelled(const EventHandle& h) const {
+    return handle_live(h) && slot(h.slot_).cancelled;
+  }
+  bool handle_pending(const EventHandle& h) const {
+    return handle_live(h) && !slot(h.slot_).cancelled;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<HeapKey> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNullIndex;
+  std::size_t live_ = 0;
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
+  Stats stats_;
 };
+
+inline void EventHandle::cancel() {
+  if (queue_) queue_->handle_cancel(*this);
+}
+inline bool EventHandle::cancelled() const {
+  return queue_ != nullptr && queue_->handle_cancelled(*this);
+}
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->handle_pending(*this);
+}
 
 }  // namespace cyd::sim

@@ -12,28 +12,4 @@ std::size_t Simulation::run_all(std::size_t max_events) {
   return result.executed;
 }
 
-EventHandle Simulation::every(Duration period, EventFn fn,
-                              Duration initial_delay) {
-  if (period <= 0) period = 1;
-  EventHandle series;
-  // The recursive lambda owns the user closure; each firing checks the shared
-  // cancellation flag before running and before re-arming. It refers to
-  // itself through a weak_ptr — the pending queue entry is the only strong
-  // owner, so an abandoned series is freed with the queue instead of keeping
-  // itself alive through a shared_ptr cycle.
-  auto tick = std::make_shared<std::function<void()>>();
-  std::weak_ptr<std::function<void()>> weak_tick = tick;
-  *tick = [this, period, fn = std::move(fn), series, weak_tick]() {
-    if (series.cancelled()) return;
-    fn();
-    if (series.cancelled()) return;
-    if (auto self = weak_tick.lock()) {
-      queue_.schedule_at(now() + period, [self] { (*self)(); });
-    }
-  };
-  queue_.schedule_at(now() + (initial_delay > 0 ? initial_delay : period),
-                     [tick] { (*tick)(); });
-  return series;
-}
-
 }  // namespace cyd::sim

@@ -39,11 +39,18 @@ class Simulation {
     return queue_.schedule_at(t, std::move(fn));
   }
 
-  /// Schedules `fn` every `period`. The first firing happens after
-  /// `initial_delay` when positive, otherwise after one full period.
-  /// Cancelling the returned handle ends the series.
-  EventHandle every(Duration period, EventFn fn,
-                    Duration initial_delay = 0);
+  /// Schedules `fn` every `period` (clamped to 1ms). The first firing
+  /// happens after `initial_delay` when positive, otherwise after one full
+  /// period. Cancelling the returned handle ends the series. Thin wrapper
+  /// over EventQueue::schedule_every: the series keeps one queue slot and
+  /// one closure for its whole lifetime instead of re-allocating a fresh
+  /// capture every period.
+  EventHandle every(Duration period, EventFn fn, Duration initial_delay = 0) {
+    return queue_.schedule_every(
+        period, std::move(fn),
+        now() + (initial_delay > 0 ? initial_delay
+                                   : (period > 0 ? period : 1)));
+  }
 
   /// Convenience trace append stamped with the current virtual time.
   /// Allocation-free for already-interned actor/action strings.

@@ -164,10 +164,22 @@ class TraceLog {
   // --- deprecated copying queries ---
   // Each call materialises owning TraceRecords for every match. Kept for
   // compatibility with pre-interning callers; prefer for_each_* / count_*.
+  // The only sanctioned remaining users are LegacyTraceLog in
+  // bench/sweep_scaling.cpp (where the copying design *is* the measured
+  // baseline) and the shim tests in tests/sim/trace_test.cpp, both under
+  // local -Wdeprecated-declarations suppression.
+  [[deprecated("scans and copies every match; use query-free count_* / "
+               "for_each_* / *_index")]]
   std::vector<TraceRecord> query(
       const std::function<bool(const TraceEventRef&)>& pred) const;
+  [[deprecated("copies every match; use count_category / for_each_category / "
+               "category_index")]]
   std::vector<TraceRecord> by_category(TraceCategory c) const;
+  [[deprecated("copies every match; use count_action / for_each_action / "
+               "action_index")]]
   std::vector<TraceRecord> by_action(std::string_view action) const;
+  [[deprecated("copies every match; use count_actor / for_each_actor / "
+               "actor_index")]]
   std::vector<TraceRecord> by_actor(std::string_view actor) const;
 
   /// Order-sensitive FNV-1a hash over every field of every event. Two runs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -134,6 +136,142 @@ TEST(EventQueueTest, TruncationIgnoresCancelledStragglers) {
   EXPECT_FALSE(result.truncated);
 }
 
+TEST(EventQueueTest, RunUntilAdvancesClockPastEarlyDrain) {
+  // Regression for the old doc/impl mismatch: the contract is that the
+  // clock always advances to the deadline, even when the queue drains
+  // before reaching it.
+  EventQueue q;
+  TimePoint seen = -1;
+  q.schedule_at(10, [&] { seen = q.now(); });
+  EXPECT_EQ(q.run_until(1000), 1u);
+  EXPECT_EQ(seen, 10);
+  EXPECT_EQ(q.now(), 1000);
+  // A second call over an empty queue keeps tiling the timeline.
+  EXPECT_EQ(q.run_until(2000), 0u);
+  EXPECT_EQ(q.now(), 2000);
+}
+
+TEST(EventQueueTest, CancelFromInsideOwnCallbackIsInert) {
+  EventQueue q;
+  EventHandle handle;
+  int fired = 0;
+  handle = q.schedule_at(10, [&] {
+    ++fired;
+    handle.cancel();  // already running: must not blow up or double-count
+    EXPECT_FALSE(handle.cancelled());
+  });
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.stats().cancelled, 0u);
+}
+
+TEST(EventQueueTest, CancelPeriodicBetweenFirings) {
+  EventQueue q;
+  int fired = 0;
+  auto handle = q.schedule_every(10, [&] { ++fired; }, 10);
+  q.run_until(25);  // fires at 10 and 20; next firing armed for 30
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_TRUE(handle.cancelled());
+  EXPECT_FALSE(handle.pending());
+  EXPECT_EQ(q.pending(), 0u);
+  const auto result = q.run_all();
+  EXPECT_EQ(result.executed, 0u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, CancelNowReclaimsEagerly) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 8; ++i) q.schedule_at(10 * (i + 1), [&] { ++fired; });
+  auto doomed = q.schedule_at(5, [&] { ++fired; });
+  auto series = q.schedule_every(7, [&] { ++fired; }, 7);
+  EXPECT_EQ(q.pending(), 10u);
+  q.cancel_now(doomed);
+  q.cancel_now(series);
+  EXPECT_EQ(q.pending(), 8u);
+  EXPECT_FALSE(doomed.pending());
+  // Eagerly removed entries are gone from the heap, not lazily skipped.
+  EXPECT_EQ(q.run_all().executed, 8u);
+  EXPECT_EQ(fired, 8);
+  EXPECT_EQ(q.stats().cancelled, 2u);
+}
+
+TEST(EventQueueTest, HandleGenerationSurvivesSlabRecycling) {
+  EventQueue q;
+  bool first_ran = false;
+  auto stale = q.schedule_at(10, [&] { first_ran = true; });
+  q.run_all();
+  EXPECT_TRUE(first_ran);
+  EXPECT_FALSE(stale.pending());
+
+  // The freed slot is recycled for a new event; the stale handle must not
+  // alias it.
+  bool second_ran = false;
+  auto fresh = q.schedule_at(20, [&] { second_ran = true; });
+  stale.cancel();
+  EXPECT_FALSE(stale.cancelled());
+  EXPECT_TRUE(fresh.pending());
+  q.run_all();
+  EXPECT_TRUE(second_ran);
+
+  // And a recycled periodic slot: cancel through the old series handle must
+  // not touch the replacement series occupying the same slot.
+  auto old_series = q.schedule_every(5, [] {}, q.now() + 5);
+  q.cancel_now(old_series);
+  int ticks = 0;
+  auto new_series = q.schedule_every(5, [&] { ++ticks; }, q.now() + 5);
+  old_series.cancel();
+  q.run_until(q.now() + 20);
+  EXPECT_EQ(ticks, 4);
+  new_series.cancel();
+}
+
+TEST(EventQueueTest, RunAllTruncationIgnoresCancelledPeriodicTail) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule_at(10 * i, [] {});
+  auto series = q.schedule_every(100, [] {}, 100);
+  series.cancel();
+  // The 5 live one-shots exactly fill the budget; the cancelled series left
+  // in the heap must not read as "work still pending".
+  const auto result = q.run_all(/*max_events=*/5);
+  EXPECT_EQ(result.executed, 5u);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, OversizedClosureFallsBackToHeapCorrectly) {
+  // Captures past EventFn's inline budget take the heap path; behaviour
+  // (ordering, cancellation) must be identical.
+  EventQueue q;
+  std::array<std::uint64_t, 16> big{};
+  big[0] = 7;
+  big[15] = 42;
+  std::uint64_t sum = 0;
+  q.schedule_at(10, [big, &sum] { sum = big[0] + big[15]; });
+  auto dead = q.schedule_at(5, [big, &sum] { sum += 1000; });
+  dead.cancel();
+  q.run_all();
+  EXPECT_EQ(sum, 49u);
+}
+
+TEST(EventQueueTest, StatsCountSchedulerActivity) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  auto dead = q.schedule_at(30, [] {});
+  auto series = q.schedule_every(15, [] {}, 15);
+  EXPECT_EQ(q.stats().peak_pending, 4u);
+  dead.cancel();
+  q.run_until(50);  // one-shots at 10+20, series at 15/30/45 (re-arms count)
+  series.cancel();
+  const auto& stats = q.stats();
+  EXPECT_EQ(stats.executed, 5u);
+  EXPECT_EQ(stats.cancelled, 2u);
+  EXPECT_EQ(stats.scheduled, 4u + 3u);  // 4 schedule calls + 3 re-arms
+}
+
 TEST(SimulationTest, AfterSchedulesRelativeToNow) {
   Simulation simulation;
   TimePoint seen = -1;
@@ -206,9 +344,11 @@ TEST(SimulationTest, RunAllLogsTruncationWarning) {
   const auto executed = simulation.run_all(/*max_events=*/25);
   EXPECT_EQ(executed, 25u);
   ASSERT_EQ(simulation.trace().count_action("queue.truncated"), 1u);
-  const auto warning = simulation.trace().by_action("queue.truncated");
-  EXPECT_EQ(warning[0].category, TraceCategory::kSim);
-  EXPECT_NE(warning[0].detail.find("25"), std::string::npos);
+  simulation.trace().for_each_action(
+      "queue.truncated", [](const TraceEventRef& warning) {
+        EXPECT_EQ(warning.category(), TraceCategory::kSim);
+        EXPECT_NE(warning.detail().find("25"), std::string_view::npos);
+      });
 }
 
 TEST(SimulationTest, LogStampsCurrentTime) {

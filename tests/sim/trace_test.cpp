@@ -122,6 +122,11 @@ TEST(TraceTest, ForEachVisitorsAreOrderedAndComplete) {
   EXPECT_EQ(visited, 1u);
 }
 
+// The copying shims are [[deprecated]]; these are their dedicated
+// compatibility tests, so the warning is suppressed for exactly this block.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 TEST(TraceTest, DeprecatedCopyingQueriesStillMaterialise) {
   const auto log = make_sample_log();
   const auto by_cat = log.by_category(TraceCategory::kFile);
@@ -140,6 +145,8 @@ TEST(TraceTest, QueryWithCompoundPredicate) {
   });
   EXPECT_EQ(results.size(), 2u);
 }
+
+#pragma GCC diagnostic pop
 
 TEST(TraceTest, ClearEmptiesLogAndIndexes) {
   auto log = make_sample_log();
