@@ -16,7 +16,6 @@
 #include "malware/gauss/gauss.hpp"
 #include "malware/shamoon/shamoon.hpp"
 #include "malware/stuxnet/stuxnet.hpp"
-#include "sim/sweep.hpp"
 
 using namespace cyd;
 
@@ -48,34 +47,13 @@ std::vector<analysis::LabelledSpecimen> mint_specimens() {
 
 void reproduce() {
   // Minting touches the function-local static Worlds, so it stays on this
-  // thread; feature extraction and the pairwise scores are pure and sweep.
-  // The assembled matrix is element-for-element what
-  // analysis::similarity_matrix computes serially.
+  // thread. The library's similarity_matrix does the rest — serial
+  // extraction into one shared FeatureDict, then the pairwise scores
+  // sweeping the upper triangle — so the bench no longer duplicates the
+  // triangle/scatter logic it used to carry inline.
   const auto specimens = mint_specimens();
   const std::size_t n = specimens.size();
-  std::vector<std::size_t> indices(n);
-  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
-  const auto features =
-      sim::Sweep::map_items(indices, [&](std::size_t i) {
-        return analysis::extract_features(specimens[i].bytes);
-      });
-  struct Pair {
-    std::size_t i = 0;
-    std::size_t j = 0;
-  };
-  std::vector<Pair> pairs;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) pairs.push_back({i, j});
-  }
-  const auto scores = sim::Sweep::map_items(pairs, [&](const Pair& p) {
-    return analysis::similarity(features[p.i], features[p.j]);
-  });
-  std::vector<double> matrix(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) matrix[i * n + i] = 1.0;
-  for (std::size_t k = 0; k < pairs.size(); ++k) {
-    matrix[pairs[k].i * n + pairs[k].j] = scores[k];
-    matrix[pairs[k].j * n + pairs[k].i] = scores[k];
-  }
+  const auto matrix = analysis::similarity_matrix(specimens);
 
   benchutil::section("pairwise similarity (strings + imports + layout)");
   std::printf("%-10s", "");

@@ -12,10 +12,25 @@ void SignatureFeed::publish_sample(std::string name, std::string_view bytes,
   publish(std::move(name), common::fnv1a64(bytes), when);
 }
 
+void SignatureFeed::publish_pattern(std::string name, common::Bytes pattern,
+                                    sim::TimePoint when) {
+  pattern_signatures_.push_back(
+      AvPatternSignature{std::move(name), std::move(pattern), when});
+}
+
 std::vector<AvSignature> SignatureFeed::available_at(
     sim::TimePoint now) const {
   std::vector<AvSignature> out;
   for (const auto& sig : signatures_) {
+    if (sig.published_at <= now) out.push_back(sig);
+  }
+  return out;
+}
+
+std::vector<AvPatternSignature> SignatureFeed::patterns_available_at(
+    sim::TimePoint now) const {
+  std::vector<AvPatternSignature> out;
+  for (const auto& sig : pattern_signatures_) {
     if (sig.published_at <= now) out.push_back(sig);
   }
   return out;
@@ -102,12 +117,33 @@ void AvProduct::update_signatures() {
   for (const auto& sig : feed_.available_at(host_.simulation().now())) {
     local_[sig.content_hash] = sig.name;
   }
+  const auto patterns =
+      feed_.patterns_available_at(host_.simulation().now());
+  if (patterns.size() > local_pattern_names_.size()) {
+    // The visible set only ever grows (publication times are fixed), so a
+    // size change is the rebuild trigger. Compile eagerly: scans stay
+    // read-only on the automaton.
+    local_patterns_ = PatternSet{};
+    local_pattern_names_.clear();
+    for (const auto& sig : patterns) {
+      local_patterns_.add(sig.pattern);
+      local_pattern_names_.push_back(sig.name);
+    }
+    local_patterns_.compile();
+  }
 }
 
 std::optional<std::string> AvProduct::match(std::string_view bytes) const {
   auto it = local_.find(common::fnv1a64(bytes));
-  if (it == local_.end()) return std::nullopt;
-  return it->second;
+  if (it != local_.end()) return it->second;
+  if (!local_patterns_.empty()) {
+    // One pass over the buffer covers every pattern signature. Lowest
+    // index = first visible signature in feed order, mirroring what a
+    // signature-by-signature loop would have reported first.
+    const auto hit = local_patterns_.first_match(bytes);
+    if (hit != PatternSet::npos) return local_pattern_names_[hit];
+  }
+  return std::nullopt;
 }
 
 std::size_t AvProduct::full_scan() {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/pattern_set.hpp"
 #include "winsys/host.hpp"
 
 namespace cyd::analysis {
@@ -23,6 +24,16 @@ namespace cyd::analysis {
 struct AvSignature {
   std::string name;           // "W32.Stuxnet!dropper"
   std::uint64_t content_hash; // fnv1a64 of the exact file bytes
+  sim::TimePoint published_at = 0;
+};
+
+/// Byte-pattern signature: fires on any file *containing* the pattern, the
+/// classic AV answer to per-victim rebuilds that defeat exact hashes.
+/// Products scan all of their pattern signatures in one Aho–Corasick pass
+/// per buffer (analysis::PatternSet), not one substring search each.
+struct AvPatternSignature {
+  std::string name;       // "W32.Duqu.gen"
+  common::Bytes pattern;  // raw bytes to find
   sim::TimePoint published_at = 0;
 };
 
@@ -34,12 +45,20 @@ class SignatureFeed {
   /// Convenience: hash the bytes for the caller.
   void publish_sample(std::string name, std::string_view bytes,
                       sim::TimePoint when);
+  /// Generic byte-pattern signature (substring match, not exact hash).
+  void publish_pattern(std::string name, common::Bytes pattern,
+                       sim::TimePoint when);
   /// Signatures visible to a product updating at time `now`.
   std::vector<AvSignature> available_at(sim::TimePoint now) const;
-  std::size_t size() const { return signatures_.size(); }
+  std::vector<AvPatternSignature> patterns_available_at(
+      sim::TimePoint now) const;
+  std::size_t size() const {
+    return signatures_.size() + pattern_signatures_.size();
+  }
 
  private:
   std::vector<AvSignature> signatures_;
+  std::vector<AvPatternSignature> pattern_signatures_;
 };
 
 struct Detection {
@@ -80,7 +99,9 @@ class AvProduct : public winsys::HostComponent {
   std::size_t full_scan();
 
   const std::vector<Detection>& detections() const { return detections_; }
-  std::size_t signature_count() const { return local_.size(); }
+  std::size_t signature_count() const {
+    return local_.size() + local_pattern_names_.size();
+  }
   /// Called on every detection (scenario code bridges to the tracker).
   void set_on_detect(std::function<void(const Detection&)> fn) {
     on_detect_ = std::move(fn);
@@ -100,6 +121,10 @@ class AvProduct : public winsys::HostComponent {
   SignatureFeed& feed_;
   AvOptions options_;
   std::map<std::uint64_t, std::string> local_;  // hash -> signature name
+  // Pattern signatures, compiled into one automaton so every on-access /
+  // full-scan buffer costs a single pass regardless of signature count.
+  PatternSet local_patterns_;
+  std::vector<std::string> local_pattern_names_;  // parallel to the set
   std::vector<Detection> detections_;
   std::function<void(const Detection&)> on_detect_;
   bool scanning_ = false;  // guards re-entrant fs events during quarantine

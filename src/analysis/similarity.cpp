@@ -1,29 +1,33 @@
 #include "analysis/similarity.hpp"
 
-#include <functional>
+#include <algorithm>
 
 #include "analysis/static_analysis.hpp"
 #include "pe/image.hpp"
+#include "sim/sweep.hpp"
 
 namespace cyd::analysis {
 namespace {
 
-void collect_features(const pe::Image& image, SpecimenFeatures& out,
-                      int max_depth) {
+constexpr std::size_t kMinStringLength = 6;
+
+void collect_features(const pe::Image& image, FeatureDict& dict,
+                      SpecimenFeatures& out, int max_depth) {
   for (const auto& section : image.sections) {
-    out.section_names.insert(section.name);
-    for (auto& s : extract_strings(section.data)) {
-      out.strings.insert(std::move(s));
-    }
+    out.section_names.push_back(dict.intern(section.name));
+    for_each_string(section.data, kMinStringLength, [&](std::string_view s) {
+      out.strings.push_back(dict.intern(s));
+    });
   }
   for (const auto& import : image.imports) {
     for (const auto& fn : import.functions) {
-      out.imports.insert(import.dll + "!" + fn);
+      out.imports.push_back(dict.intern_import(import.dll, fn));
     }
   }
-  for (auto& s : extract_strings(image.version_info)) {
-    out.strings.insert(std::move(s));
-  }
+  for_each_string(image.version_info, kMinStringLength,
+                  [&](std::string_view s) {
+                    out.strings.push_back(dict.intern(s));
+                  });
   if (max_depth <= 0) return;
   for (const auto& resource : image.resources) {
     common::Bytes payload = resource.data;
@@ -32,21 +36,38 @@ void collect_features(const pe::Image& image, SpecimenFeatures& out,
     }
     if (pe::Image::looks_like_pe(payload)) {
       try {
-        collect_features(pe::Image::parse(payload), out, max_depth - 1);
+        collect_features(pe::Image::parse(payload), dict, out, max_depth - 1);
         continue;
       } catch (const pe::ParseError&) {
       }
     }
-    for (auto& s : extract_strings(payload)) out.strings.insert(std::move(s));
+    for_each_string(payload, kMinStringLength, [&](std::string_view s) {
+      out.strings.push_back(dict.intern(s));
+    });
   }
 }
 
-double jaccard(const std::set<std::string>& a,
-               const std::set<std::string>& b) {
+void sort_unique(std::vector<FeatureId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+/// Jaccard over two sorted, deduplicated id spans: one branch-light linear
+/// merge counts the intersection (the seed walked a std::set per element).
+/// Counts equal the seed's set counts — interning is a bijection — so the
+/// resulting double is bit-identical.
+double jaccard(const std::vector<FeatureId>& a,
+               const std::vector<FeatureId>& b) {
   if (a.empty() && b.empty()) return 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
   std::size_t intersection = 0;
-  for (const auto& item : a) {
-    if (b.contains(item)) ++intersection;
+  while (i < a.size() && j < b.size()) {
+    const FeatureId x = a[i];
+    const FeatureId y = b[j];
+    intersection += static_cast<std::size_t>(x == y);
+    i += static_cast<std::size_t>(x <= y);
+    j += static_cast<std::size_t>(y <= x);
   }
   const std::size_t union_size = a.size() + b.size() - intersection;
   return union_size == 0
@@ -57,13 +78,35 @@ double jaccard(const std::set<std::string>& a,
 
 }  // namespace
 
-SpecimenFeatures extract_features(std::string_view bytes, int max_depth) {
+FeatureId FeatureDict::intern(std::string_view s) {
+  if (const auto it = ids_.find(s); it != ids_.end()) return it->second;
+  const FeatureId id = features_.size();
+  features_.emplace_back(s);
+  ids_.emplace(features_.back(), id);
+  return id;
+}
+
+FeatureId FeatureDict::intern_import(std::string_view dll,
+                                     std::string_view fn) {
+  scratch_.assign(dll);
+  scratch_.push_back('!');
+  scratch_.append(fn);
+  return intern(scratch_);
+}
+
+SpecimenFeatures extract_features(std::string_view bytes, FeatureDict& dict,
+                                  int max_depth) {
   SpecimenFeatures out;
   try {
-    collect_features(pe::Image::parse(bytes), out, max_depth);
+    collect_features(pe::Image::parse(bytes), dict, out, max_depth);
   } catch (const pe::ParseError&) {
-    for (auto& s : extract_strings(bytes)) out.strings.insert(std::move(s));
+    for_each_string(bytes, kMinStringLength, [&](std::string_view s) {
+      out.strings.push_back(dict.intern(s));
+    });
   }
+  sort_unique(out.strings);
+  sort_unique(out.imports);
+  sort_unique(out.section_names);
   return out;
 }
 
@@ -76,8 +119,8 @@ double similarity(const SpecimenFeatures& a, const SpecimenFeatures& b) {
   // off-diagonal involving it would be silently deflated.
   struct Class {
     double weight;
-    const std::set<std::string>& lhs;
-    const std::set<std::string>& rhs;
+    const std::vector<FeatureId>& lhs;
+    const std::vector<FeatureId>& rhs;
   };
   const Class classes[] = {
       {0.4, a.strings, b.strings},
@@ -98,25 +141,40 @@ double similarity(const SpecimenFeatures& a, const SpecimenFeatures& b) {
 }
 
 double specimen_similarity(std::string_view a, std::string_view b) {
-  return similarity(extract_features(a), extract_features(b));
+  FeatureDict dict;
+  const auto fa = extract_features(a, dict);
+  const auto fb = extract_features(b, dict);
+  return similarity(fa, fb);
 }
 
 std::vector<double> similarity_matrix(
     const std::vector<LabelledSpecimen>& specimens) {
   const std::size_t n = specimens.size();
+  // Extraction feeds the shared dict, so it stays on the caller thread;
+  // the pure pairwise scores sweep.
+  FeatureDict dict;
   std::vector<SpecimenFeatures> features;
   features.reserve(n);
   for (const auto& specimen : specimens) {
-    features.push_back(extract_features(specimen.bytes));
+    features.push_back(extract_features(specimen.bytes, dict));
   }
-  std::vector<double> matrix(n * n, 0.0);
+  struct Pair {
+    std::size_t i = 0;
+    std::size_t j = 0;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(n * (n - 1) / 2);
   for (std::size_t i = 0; i < n; ++i) {
-    matrix[i * n + i] = 1.0;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double score = similarity(features[i], features[j]);
-      matrix[i * n + j] = score;
-      matrix[j * n + i] = score;
-    }
+    for (std::size_t j = i + 1; j < n; ++j) pairs.push_back({i, j});
+  }
+  const auto scores = sim::Sweep::map_items(pairs, [&](const Pair& p) {
+    return similarity(features[p.i], features[p.j]);
+  });
+  std::vector<double> matrix(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) matrix[i * n + i] = 1.0;
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    matrix[pairs[k].i * n + pairs[k].j] = scores[k];
+    matrix[pairs[k].j * n + pairs[k].i] = scores[k];
   }
   return matrix;
 }
@@ -125,11 +183,13 @@ std::vector<std::vector<std::string>> cluster_specimens(
     const std::vector<LabelledSpecimen>& specimens, double threshold) {
   const std::size_t n = specimens.size();
   const auto matrix = similarity_matrix(specimens);
-  // Union-find over above-threshold edges (single linkage).
+  // Union-find over above-threshold edges (single linkage). Union by
+  // smallest root index: a component's representative is always its
+  // earliest member, so the grouping below comes out in a canonical order
+  // instead of depending on which edge happened to merge last.
   std::vector<std::size_t> parent(n);
   for (std::size_t i = 0; i < n; ++i) parent[i] = i;
-  std::function<std::size_t(std::size_t)> find =
-      [&](std::size_t x) -> std::size_t {
+  const auto find = [&](std::size_t x) -> std::size_t {
     while (parent[x] != x) {
       parent[x] = parent[parent[x]];
       x = parent[x];
@@ -138,16 +198,25 @@ std::vector<std::vector<std::string>> cluster_specimens(
   };
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      if (matrix[i * n + j] >= threshold) parent[find(i)] = find(j);
+      if (matrix[i * n + j] < threshold) continue;
+      const std::size_t ri = find(i);
+      const std::size_t rj = find(j);
+      if (ri == rj) continue;
+      parent[std::max(ri, rj)] = std::min(ri, rj);
     }
   }
-  std::map<std::size_t, std::vector<std::string>> groups;
-  for (std::size_t i = 0; i < n; ++i) {
-    groups[find(i)].push_back(specimens[i].label);
-  }
+  // Roots are minimal member indices, so iterating specimens in order
+  // yields clusters ordered by earliest member, members in input order.
   std::vector<std::vector<std::string>> out;
-  out.reserve(groups.size());
-  for (auto& [root, members] : groups) out.push_back(std::move(members));
+  std::vector<std::size_t> group_of(n, static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find(i);
+    if (group_of[root] == static_cast<std::size_t>(-1)) {
+      group_of[root] = out.size();
+      out.emplace_back();
+    }
+    out[group_of[root]].push_back(specimens[i].label);
+  }
   return out;
 }
 

@@ -8,36 +8,94 @@
 // (printable strings, import sets, section names — recursively through
 // carved resources) and score their overlap, then cluster a specimen pile
 // into families-of-origin by the same measure.
+//
+// Features are interned: a FeatureDict maps each distinct feature string to
+// a dense 64-bit id (the sim::StringPool pattern), and a SpecimenFeatures
+// holds three sorted id vectors instead of three std::set<std::string>.
+// Scoring then reduces to linear merge-intersections over sorted integer
+// spans — no per-element tree walks, no string compares — and the pairwise
+// stage of similarity_matrix fans out across the sweep pool. Scores are
+// bit-identical to the seed set-based kernel (interning is a bijection, so
+// every intersection/union count is unchanged); bench/similarity_scaling
+// keeps that kernel and asserts the identity.
 
-#include <map>
-#include <set>
+#include <cstdint>
+#include <deque>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
 
 namespace cyd::analysis {
 
-/// Comparable feature set of one specimen.
+/// Dense id of one interned feature string. Ids are assigned in first-seen
+/// order, so extraction order determines them deterministically; similarity
+/// only ever compares ids for equality, so scores do not depend on the
+/// assignment at all.
+using FeatureId = std::uint64_t;
+
+/// Deduplicating feature intern table shared by every specimen in one
+/// analysis (ids from different dicts are not comparable). Not thread-safe;
+/// extraction is the serial stage, scoring over the resulting id vectors is
+/// what parallelizes.
+class FeatureDict {
+ public:
+  /// Id for `s`, interning on first sight. Amortised O(1); allocates only
+  /// the first time a distinct feature appears.
+  FeatureId intern(std::string_view s);
+
+  /// Id for the import feature "dll!fn" without materializing a fresh
+  /// std::string per call (one scratch buffer, capacity reused).
+  FeatureId intern_import(std::string_view dll, std::string_view fn);
+
+  /// The string behind an id. Views stay valid for the dict's lifetime
+  /// (entries live in a deque, later interning never moves them).
+  std::string_view view(FeatureId id) const {
+    return features_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const { return features_.size(); }
+  bool empty() const { return features_.empty(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::deque<std::string> features_;  // id -> string, stable addresses
+  std::unordered_map<std::string, FeatureId, Hash, std::equal_to<>> ids_;
+  std::string scratch_;  // reused by intern_import
+};
+
+/// Comparable feature set of one specimen: three sorted, deduplicated
+/// vectors of ids from one shared FeatureDict.
 struct SpecimenFeatures {
-  std::set<std::string> strings;     // printable runs (len >= 6)
-  std::set<std::string> imports;    // "dll!function"
-  std::set<std::string> section_names;
+  std::vector<FeatureId> strings;        // printable runs (len >= 6)
+  std::vector<FeatureId> imports;        // "dll!function"
+  std::vector<FeatureId> section_names;
 
   std::size_t size() const {
     return strings.size() + imports.size() + section_names.size();
   }
 };
 
-/// Extracts features from raw bytes, descending into carvable resources.
-SpecimenFeatures extract_features(std::string_view bytes, int max_depth = 4);
+/// Extracts features from raw bytes into `dict`, descending into carvable
+/// resources. Specimens meant to be compared must share the dict.
+SpecimenFeatures extract_features(std::string_view bytes, FeatureDict& dict,
+                                  int max_depth = 4);
 
 /// Jaccard-style similarity in [0,1]; imports and section names are
 /// weighted above incidental strings (shared engineering beats shared
 /// vocabulary). Weights are renormalized over the feature classes that are
 /// non-empty in at least one operand, so similarity(x, x) == 1.0 even for
 /// specimens missing whole classes; two entirely featureless specimens
-/// compare as 1.0 (vacuously identical feature sets).
+/// compare as 1.0 (vacuously identical feature sets). Both operands must
+/// come from the same FeatureDict.
 double similarity(const SpecimenFeatures& a, const SpecimenFeatures& b);
 double specimen_similarity(std::string_view a, std::string_view b);
 
@@ -49,11 +107,17 @@ struct LabelledSpecimen {
 /// Single-linkage clustering at `threshold`; returns groups of labels.
 /// Two specimens land in one cluster iff a chain of pairwise similarities
 /// above the threshold connects them — how analysts grew the
-/// Stuxnet/Duqu ("Tilded") and Flame/Gauss platform families.
+/// Stuxnet/Duqu ("Tilded") and Flame/Gauss platform families. Output order
+/// is canonical: each cluster is represented by its earliest member, so
+/// clusters appear ordered by first specimen index and members in input
+/// order (union by smallest root; membership itself is order-invariant).
 std::vector<std::vector<std::string>> cluster_specimens(
     const std::vector<LabelledSpecimen>& specimens, double threshold);
 
-/// Full pairwise matrix (row-major, n x n) for reporting.
+/// Full pairwise matrix (row-major, n x n) for reporting. Extraction is
+/// serial (one shared dict); the O(n²) pairwise stage sweeps the upper
+/// triangle across sim::Sweep::map_items with the usual
+/// bit-identical-to-serial aggregation.
 std::vector<double> similarity_matrix(
     const std::vector<LabelledSpecimen>& specimens);
 

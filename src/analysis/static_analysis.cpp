@@ -12,19 +12,8 @@ constexpr double kPackerEntropyLine = 7.2;
 std::vector<std::string> extract_strings(std::string_view data,
                                          std::size_t min_length) {
   std::vector<std::string> out;
-  std::string current;
-  auto flush = [&] {
-    if (current.size() >= min_length) out.push_back(current);
-    current.clear();
-  };
-  for (unsigned char c : data) {
-    if (std::isprint(c) && c != '\t') {
-      current.push_back(static_cast<char>(c));
-    } else {
-      flush();
-    }
-  }
-  flush();
+  for_each_string(data, min_length,
+                  [&](std::string_view s) { out.emplace_back(s); });
   return out;
 }
 

@@ -7,9 +7,11 @@
 // (Shamoon's wiper-inside-TrkSvr, driver-inside-wiper), extract printable
 // strings, and judge the Authenticode signature against a trust store.
 
+#include <cctype>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pe/image.hpp"
@@ -62,7 +64,31 @@ struct StaticReport {
   std::string summary() const;
 };
 
-/// Printable ASCII runs of at least `min_length`.
+/// Visits every printable ASCII run of at least `min_length` in `data`
+/// without allocating: `cb` receives a std::string_view aliasing `data`
+/// (valid only for the duration of the call). This is the hot-path form —
+/// feature extraction interns the views directly. Keep `extract_strings`
+/// for callers that need owned copies.
+template <class Cb>
+void for_each_string(std::string_view data, std::size_t min_length, Cb&& cb) {
+  std::size_t run_start = 0;
+  std::size_t run_len = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(data[i]);
+    if (std::isprint(c) && c != '\t') {
+      if (run_len == 0) run_start = i;
+      ++run_len;
+    } else {
+      if (run_len >= min_length) cb(data.substr(run_start, run_len));
+      run_len = 0;
+    }
+  }
+  if (run_len >= min_length) cb(data.substr(run_start, run_len));
+}
+
+/// Printable ASCII runs of at least `min_length`, copied out. Compatibility
+/// shim over for_each_string for callers that keep the strings around
+/// (dissect reports, tests); new scanning code should visit in place.
 std::vector<std::string> extract_strings(std::string_view data,
                                          std::size_t min_length = 6);
 

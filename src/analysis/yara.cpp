@@ -34,22 +34,36 @@ common::Bytes parse_hex_pattern(const std::string& body, int line) {
 
 }  // namespace
 
+namespace {
+
+bool condition_met(const YaraRule& rule, int hits) {
+  switch (rule.condition) {
+    case YaraCondition::kAny: return hits >= 1;
+    case YaraCondition::kAll:
+      return hits == static_cast<int>(rule.strings.size());
+    case YaraCondition::kAtLeast: return hits >= rule.at_least;
+  }
+  return false;
+}
+
+}  // namespace
+
 bool YaraRule::matches(std::string_view data) const {
   if (strings.empty()) return false;
   int hits = 0;
   for (const auto& s : strings) {
     if (data.find(s.pattern) != std::string_view::npos) ++hits;
   }
-  switch (condition) {
-    case YaraCondition::kAny: return hits >= 1;
-    case YaraCondition::kAll:
-      return hits == static_cast<int>(strings.size());
-    case YaraCondition::kAtLeast: return hits >= at_least;
-  }
-  return false;
+  return condition_met(*this, hits);
 }
 
-void RuleSet::add(YaraRule rule) { rules_.push_back(std::move(rule)); }
+void RuleSet::add(YaraRule rule) {
+  first_pattern_.push_back(patterns_.size());
+  for (const auto& s : rule.strings) {
+    patterns_.add(s.pattern);
+  }
+  rules_.push_back(std::move(rule));
+}
 
 RuleSet RuleSet::parse(const std::string& text) {
   RuleSet set;
@@ -158,8 +172,19 @@ RuleSet RuleSet::parse(const std::string& text) {
 
 std::vector<YaraMatch> RuleSet::scan(std::string_view data) const {
   std::vector<YaraMatch> out;
-  for (const auto& rule : rules_) {
-    if (rule.matches(data)) {
+  // One automaton pass answers presence for every pattern of every rule;
+  // per-rule evaluation then just counts bits over its own span.
+  std::vector<std::uint8_t> present;
+  patterns_.match_presence(data, present);
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const auto& rule = rules_[r];
+    if (rule.strings.empty()) continue;
+    int hits = 0;
+    const std::size_t first = first_pattern_[r];
+    for (std::size_t k = 0; k < rule.strings.size(); ++k) {
+      hits += present[first + k];
+    }
+    if (condition_met(rule, hits)) {
       YaraMatch match;
       match.rule = rule.name;
       if (auto it = rule.meta.find("family"); it != rule.meta.end()) {

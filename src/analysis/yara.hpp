@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/pattern_set.hpp"
 #include "common/bytes.hpp"
 #include "winsys/host.hpp"
 
@@ -41,7 +42,9 @@ struct YaraRule {
   YaraCondition condition = YaraCondition::kAny;
   int at_least = 1;  // used when condition == kAtLeast
 
-  /// True when the rule fires on `data`.
+  /// True when the rule fires on `data`. One-off path (a substring search
+  /// per pattern); RuleSet::scan runs all rules through one shared
+  /// Aho–Corasick pass instead.
   bool matches(std::string_view data) const;
 };
 
@@ -66,12 +69,21 @@ class RuleSet {
   /// on malformed input.
   static RuleSet parse(const std::string& text);
 
+  /// Evaluates every rule over `data` in one pass: all patterns of all
+  /// rules live in one shared Aho–Corasick automaton, so the cost is
+  /// O(bytes + matches), not O(rules × patterns × bytes). Results are
+  /// identical to matching each rule separately, in rule order.
   std::vector<YaraMatch> scan(std::string_view data) const;
   /// Scans every file on every mounted volume of `host`.
   std::vector<HostScanHit> scan_host(const winsys::Host& host) const;
 
  private:
   std::vector<YaraRule> rules_;
+  // One pattern index per (rule, string), in rule order; spans_[r] is the
+  // offset of rule r's first pattern inside patterns_ (string counts give
+  // the extent). Rebuilt incrementally by add().
+  PatternSet patterns_;
+  std::vector<std::size_t> first_pattern_;  // rule -> first pattern index
 };
 
 }  // namespace cyd::analysis

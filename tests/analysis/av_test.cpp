@@ -63,6 +63,53 @@ TEST_F(AvTest, SingleByteVariantEvadesHashSignature) {
   EXPECT_EQ(av.detections().size(), 1u);
 }
 
+TEST_F(AvTest, PatternSignatureCatchesPerVictimVariants) {
+  // What the hash can't do: one generic byte-pattern signature covers every
+  // rebuild that keeps the shared platform string.
+  feed_.publish_pattern("W32.Test.gen", "platform loader v3", 0);
+  auto& av = AvProduct::install(host_, feed_);
+  EXPECT_EQ(av.signature_count(), 1u);
+  host_.fs().write_file("c:\\a.exe", "victim-a build: platform loader v3!",
+                        0);
+  host_.fs().write_file("c:\\b.exe", "victim-b build: platform loader v3?",
+                        0);
+  host_.fs().write_file("c:\\c.exe", "unrelated contents", 0);
+  EXPECT_FALSE(host_.fs().is_file("c:\\a.exe"));
+  EXPECT_FALSE(host_.fs().is_file("c:\\b.exe"));
+  EXPECT_TRUE(host_.fs().is_file("c:\\c.exe"));
+  ASSERT_EQ(av.detections().size(), 2u);
+  EXPECT_EQ(av.detections()[0].signature, "W32.Test.gen");
+  EXPECT_EQ(av.detections()[0].response, "quarantined");
+}
+
+TEST_F(AvTest, PatternSignatureHonoursPublishTime) {
+  AvOptions options;
+  options.update_interval = sim::kDay;
+  options.full_scan_interval = 7 * sim::kDay;
+  auto& av = AvProduct::install(host_, feed_, options);
+  host_.fs().write_file("c:\\implant.exe", "implant: platform loader v3", 0);
+  feed_.publish_pattern("W32.Late.gen", "platform loader v3", sim::days(3));
+  simulation_.run_until(sim::days(2));
+  EXPECT_TRUE(host_.fs().is_file("c:\\implant.exe"));  // not yet visible
+  simulation_.run_until(sim::days(8));  // weekly scan after the update
+  EXPECT_FALSE(host_.fs().is_file("c:\\implant.exe"));
+  ASSERT_FALSE(av.detections().empty());
+  EXPECT_EQ(av.detections()[0].signature, "W32.Late.gen");
+  EXPECT_EQ(av.detections()[0].response, "scan-hit");
+}
+
+TEST_F(AvTest, HashSignatureWinsOverPatternOnExactMatch) {
+  // The exact-hash name is the more specific verdict; the per-signature
+  // loop the PatternSet pass replaced checked hashes first, too.
+  const common::Bytes sample = "exact build: platform loader v3";
+  feed_.publish_sample("W32.Exact", sample, 0);
+  feed_.publish_pattern("W32.Generic", "platform loader v3", 0);
+  auto& av = AvProduct::install(host_, feed_);
+  host_.fs().write_file("c:\\x.exe", sample, 0);
+  ASSERT_EQ(av.detections().size(), 1u);
+  EXPECT_EQ(av.detections()[0].signature, "W32.Exact");
+}
+
 TEST_F(AvTest, SignatureUpdateLagWindow) {
   // Malware lands at day 0; the signature ships at day 3; the product pulls
   // daily and full-scans weekly: the file dies at the next full scan.

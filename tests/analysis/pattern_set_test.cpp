@@ -1,0 +1,148 @@
+#include "analysis/pattern_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace cyd::analysis {
+namespace {
+
+std::vector<std::uint8_t> presence(const PatternSet& set,
+                                   std::string_view data) {
+  std::vector<std::uint8_t> hits;
+  set.match_presence(data, hits);
+  return hits;
+}
+
+TEST(PatternSetTest, EmptySetMatchesNothing) {
+  PatternSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(presence(set, "anything at all").empty());
+  EXPECT_EQ(set.first_match("anything"), PatternSet::npos);
+}
+
+TEST(PatternSetTest, EmptyPatternIsRejected) {
+  PatternSet set;
+  EXPECT_THROW(set.add(""), std::invalid_argument);
+}
+
+TEST(PatternSetTest, OverlappingPatternsAllFire) {
+  // Suffix/prefix/substring overlaps are exactly where naive automata drop
+  // matches: "bc" ends inside "abcd", "abc" is a prefix of it, "c" a
+  // single byte inside both.
+  PatternSet set;
+  set.add("abcd");
+  set.add("bc");
+  set.add("abc");
+  set.add("c");
+  set.add("cdx");
+  const auto hits = presence(set, "xx abcd yy");
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0], 1);  // abcd
+  EXPECT_EQ(hits[1], 1);  // bc
+  EXPECT_EQ(hits[2], 1);  // abc
+  EXPECT_EQ(hits[3], 1);  // c
+  EXPECT_EQ(hits[4], 0);  // cdx absent
+}
+
+TEST(PatternSetTest, PatternAtBufferBoundaries) {
+  PatternSet set;
+  set.add("head");
+  set.add("tail");
+  set.add("exact");
+  const auto hits = presence(set, "head...tail");
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 1);
+  EXPECT_EQ(hits[2], 0);
+  // Pattern equals the whole buffer.
+  EXPECT_EQ(presence(set, "exact")[2], 1);
+  // Pattern longer than the buffer can never match.
+  EXPECT_EQ(presence(set, "exac")[2], 0);
+  // Empty buffer matches nothing.
+  const auto empty_hits = presence(set, "");
+  EXPECT_EQ(empty_hits, (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+TEST(PatternSetTest, DuplicatePatternsGetIndependentIndices) {
+  PatternSet set;
+  const auto a = set.add("mrxcls");
+  const auto b = set.add("mrxcls");
+  EXPECT_NE(a, b);
+  const auto hits = presence(set, "driver mrxcls.sys");
+  EXPECT_EQ(hits[a], 1);
+  EXPECT_EQ(hits[b], 1);
+}
+
+TEST(PatternSetTest, BinaryPatternsIncludingNulAndHighBytes) {
+  PatternSet set;
+  set.add(std::string("\x00\xff\x00", 3));
+  set.add(std::string("\xff\xd8\xff\xe0", 4));
+  const std::string data =
+      std::string("junk") + std::string("\x00\xff\x00", 3) + "more" +
+      std::string("\xff\xd8\xff\xe0", 4);
+  const auto hits = presence(set, data);
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 1);
+}
+
+TEST(PatternSetTest, FirstMatchReturnsLowestIndex) {
+  PatternSet set;
+  set.add("zebra");
+  set.add("apple");
+  set.add("zeb");
+  // Both "zebra" (0) and "zeb" (2) occur; lowest index wins.
+  EXPECT_EQ(set.first_match("one zebra"), 0u);
+  EXPECT_EQ(set.first_match("zeb only"), 2u);
+  EXPECT_EQ(set.first_match("nothing here"), PatternSet::npos);
+}
+
+TEST(PatternSetTest, AddAfterCompileRebuilds) {
+  PatternSet set;
+  set.add("alpha");
+  set.compile();
+  EXPECT_EQ(presence(set, "alpha beta").size(), 1u);
+  set.add("beta");
+  const auto hits = presence(set, "alpha beta");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 1);
+}
+
+TEST(PatternSetTest, AgreesWithNaiveFindOnRandomInputs) {
+  // Property check over a tiny alphabet (maximizing overlap collisions):
+  // automaton presence == data.find presence for every pattern.
+  sim::Rng rng(0xac);
+  for (int trial = 0; trial < 50; ++trial) {
+    PatternSet set;
+    std::vector<std::string> patterns;
+    const int pattern_count = static_cast<int>(rng.uniform_int(1, 12));
+    for (int p = 0; p < pattern_count; ++p) {
+      std::string pattern;
+      const int len = static_cast<int>(rng.uniform_int(1, 6));
+      for (int k = 0; k < len; ++k) {
+        pattern.push_back(static_cast<char>('a' + rng.uniform_int(0, 2)));
+      }
+      set.add(pattern);
+      patterns.push_back(std::move(pattern));
+    }
+    std::string data;
+    const int data_len = static_cast<int>(rng.uniform_int(0, 64));
+    for (int k = 0; k < data_len; ++k) {
+      data.push_back(static_cast<char>('a' + rng.uniform_int(0, 2)));
+    }
+    const auto hits = presence(set, data);
+    ASSERT_EQ(hits.size(), patterns.size());
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      const bool naive = data.find(patterns[p]) != std::string::npos;
+      EXPECT_EQ(hits[p] != 0, naive)
+          << "trial " << trial << " pattern '" << patterns[p] << "' in '"
+          << data << "'";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cyd::analysis

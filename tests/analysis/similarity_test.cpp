@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "malware/duqu/duqu.hpp"
 #include "malware/flame/flame.hpp"
 #include "malware/gauss/gauss.hpp"
 #include "malware/shamoon/shamoon.hpp"
 #include "malware/stuxnet/stuxnet.hpp"
 #include "net/network.hpp"
+#include "sim/rng.hpp"
 
 namespace cyd::analysis {
 namespace {
@@ -38,6 +42,22 @@ struct SpecimenLab {
   }
 };
 
+/// Interns a feature-string bundle into a SpecimenFeatures — the test-side
+/// stand-in for extraction.
+SpecimenFeatures make_features(FeatureDict& dict,
+                               const std::set<std::string>& strings,
+                               const std::set<std::string>& imports,
+                               const std::set<std::string>& sections) {
+  SpecimenFeatures f;
+  for (const auto& s : strings) f.strings.push_back(dict.intern(s));
+  for (const auto& s : imports) f.imports.push_back(dict.intern(s));
+  for (const auto& s : sections) f.section_names.push_back(dict.intern(s));
+  std::sort(f.strings.begin(), f.strings.end());
+  std::sort(f.imports.begin(), f.imports.end());
+  std::sort(f.section_names.begin(), f.section_names.end());
+  return f;
+}
+
 TEST(SimilarityTest, IdenticalSpecimensScoreOne) {
   SpecimenLab lab;
   const auto bytes = lab.stuxnet.build_dropper().serialize();
@@ -46,14 +66,30 @@ TEST(SimilarityTest, IdenticalSpecimensScoreOne) {
 
 TEST(SimilarityTest, FeatureExtractionDescendsIntoResources) {
   SpecimenLab lab;
+  FeatureDict dict;
   const auto features =
-      extract_features(lab.shamoon.build_trksvr().serialize());
+      extract_features(lab.shamoon.build_trksvr().serialize(), dict);
   // Strings from the XOR-encrypted wiper surface after key recovery.
   bool found_wiper_string = false;
-  for (const auto& s : features.strings) {
-    if (s.find("mbr logic") != std::string::npos) found_wiper_string = true;
+  for (const FeatureId id : features.strings) {
+    if (dict.view(id).find("mbr logic") != std::string_view::npos) {
+      found_wiper_string = true;
+    }
   }
   EXPECT_TRUE(found_wiper_string);
+}
+
+TEST(SimilarityTest, ExtractedFeatureVectorsAreSortedAndUnique) {
+  SpecimenLab lab;
+  FeatureDict dict;
+  const auto features =
+      extract_features(lab.shamoon.build_trksvr().serialize(), dict);
+  for (const auto* ids :
+       {&features.strings, &features.imports, &features.section_names}) {
+    EXPECT_TRUE(std::is_sorted(ids->begin(), ids->end()));
+    EXPECT_EQ(std::adjacent_find(ids->begin(), ids->end()), ids->end());
+  }
+  EXPECT_GT(features.size(), 0u);
 }
 
 TEST(SimilarityTest, TildedPlatformLinksStuxnetAndDuqu) {
@@ -110,6 +146,42 @@ TEST(SimilarityTest, ClusteringRecoversTheTwoFactories) {
   EXPECT_EQ(find_cluster_of("shamoon"), (std::set<std::string>{"shamoon"}));
 }
 
+TEST(SimilarityTest, ClustersComeOutOrderedByEarliestMember) {
+  SpecimenLab lab;
+  const auto clusters = cluster_specimens(lab.all(), /*threshold=*/0.18);
+  // Canonical order: cluster of specimen 0 first, members in input order.
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters[0], (std::vector<std::string>{"stuxnet", "duqu"}));
+  EXPECT_EQ(clusters[1], (std::vector<std::string>{"flame", "gauss"}));
+  EXPECT_EQ(clusters[2], (std::vector<std::string>{"shamoon"}));
+}
+
+TEST(SimilarityTest, ClusterMembershipInvariantUnderPermutation) {
+  // Regression for the order-sensitive union-find merges: whatever order
+  // the specimens arrive in, the same families must come out. Canonicalize
+  // each clustering to a set of label-sets and compare.
+  SpecimenLab lab;
+  const auto base = lab.all();
+  auto canonical = [](const std::vector<std::vector<std::string>>& clusters) {
+    std::set<std::set<std::string>> out;
+    for (const auto& cluster : clusters) {
+      out.insert(std::set<std::string>(cluster.begin(), cluster.end()));
+    }
+    return out;
+  };
+  const auto expected = canonical(cluster_specimens(base, 0.18));
+  std::vector<std::size_t> order(base.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  sim::Rng rng(0x5eed);
+  for (int trial = 0; trial < 8; ++trial) {
+    rng.shuffle(order);
+    std::vector<LabelledSpecimen> permuted;
+    for (const std::size_t idx : order) permuted.push_back(base[idx]);
+    EXPECT_EQ(canonical(cluster_specimens(permuted, 0.18)), expected)
+        << "trial " << trial;
+  }
+}
+
 TEST(SimilarityTest, MatrixIsSymmetricWithUnitDiagonal) {
   SpecimenLab lab;
   const auto specimens = lab.all();
@@ -123,13 +195,22 @@ TEST(SimilarityTest, MatrixIsSymmetricWithUnitDiagonal) {
   }
 }
 
+TEST(SimilarityTest, MatrixHandlesDegeneratePiles) {
+  EXPECT_TRUE(similarity_matrix({}).empty());
+  const auto one = similarity_matrix({{"solo", "not a pe, just text data"}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 1.0);
+}
+
 TEST(SimilarityTest, SelfSimilarityIsOneWithoutStrings) {
   // A specimen with no extracted strings must still score 1.0 against
   // itself: the empty-on-both-sides class is excluded from the weighting
   // instead of contributing a silent zero (pre-fix this scored 0.6).
-  SpecimenFeatures f;
-  f.imports = {"kernel32.dll!CreateFileW", "advapi32.dll!RegSetValueExW"};
-  f.section_names = {".text", ".rdata"};
+  FeatureDict dict;
+  const auto f = make_features(
+      dict, {},
+      {"kernel32.dll!CreateFileW", "advapi32.dll!RegSetValueExW"},
+      {".text", ".rdata"});
   EXPECT_DOUBLE_EQ(similarity(f, f), 1.0);
 }
 
@@ -145,19 +226,21 @@ TEST(SimilarityTest, SelfSimilarityIsOneForFeaturelessSpecimen) {
 TEST(SimilarityTest, MissingClassDoesNotDeflateCrossScores) {
   // Two string-less specimens sharing all imports and sections are as
   // similar as the evidence can show — not capped at 0.6.
-  SpecimenFeatures a, b;
-  a.imports = b.imports = {"ws2_32.dll!send"};
-  a.section_names = {".text", ".pe1"};
-  b.section_names = {".text", ".pe2"};
+  FeatureDict dict;
+  const auto a = make_features(dict, {}, {"ws2_32.dll!send"},
+                               {".text", ".pe1"});
+  const auto b = make_features(dict, {}, {"ws2_32.dll!send"},
+                               {".text", ".pe2"});
   // imports jaccard 1.0 (w 0.35), sections jaccard 1/3 (w 0.25), strings
   // excluded: (0.35 + 0.25/3) / 0.6.
   EXPECT_NEAR(similarity(a, b), (0.35 + 0.25 / 3.0) / 0.6, 1e-12);
 }
 
 TEST(SimilarityTest, FeaturelessAgainstFeaturedIsZero) {
-  SpecimenFeatures empty, featured;
-  featured.strings = {"platform loader"};
-  featured.imports = {"user32.dll!wsprintfW"};
+  FeatureDict dict;
+  const SpecimenFeatures empty;
+  const auto featured = make_features(dict, {"platform loader"},
+                                      {"user32.dll!wsprintfW"}, {});
   EXPECT_DOUBLE_EQ(similarity(empty, featured), 0.0);
   EXPECT_DOUBLE_EQ(similarity(featured, empty), 0.0);
 }
@@ -175,6 +258,120 @@ TEST(SimilarityTest, GarbageBytesCompareViaStringsOnly) {
   EXPECT_DOUBLE_EQ(specimen_similarity("alpha-only-content-1",
                                        "totally-different-text-2"),
                    0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: the interned kernel against the retained seed semantics.
+
+/// The seed set-based kernel, verbatim in arithmetic: per-element
+/// set::contains jaccard plus the renormalized weighted sum. The interned
+/// kernel must agree bit-for-bit on every input.
+double seed_jaccard(const std::set<std::string>& a,
+                    const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t intersection = 0;
+  for (const auto& item : a) {
+    if (b.contains(item)) ++intersection;
+  }
+  const std::size_t union_size = a.size() + b.size() - intersection;
+  return union_size == 0
+             ? 0.0
+             : static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+double seed_similarity(const std::set<std::string>& strings_a,
+                       const std::set<std::string>& imports_a,
+                       const std::set<std::string>& sections_a,
+                       const std::set<std::string>& strings_b,
+                       const std::set<std::string>& imports_b,
+                       const std::set<std::string>& sections_b) {
+  struct Class {
+    double weight;
+    const std::set<std::string>& lhs;
+    const std::set<std::string>& rhs;
+  };
+  const Class classes[] = {
+      {0.4, strings_a, strings_b},
+      {0.35, imports_a, imports_b},
+      {0.25, sections_a, sections_b},
+  };
+  double score = 0.0;
+  double active_weight = 0.0;
+  for (const auto& c : classes) {
+    if (c.lhs.empty() && c.rhs.empty()) continue;
+    score += c.weight * seed_jaccard(c.lhs, c.rhs);
+    active_weight += c.weight;
+  }
+  if (active_weight == 0.0) return 1.0;
+  return score / active_weight;
+}
+
+std::set<std::string> random_bundle(sim::Rng& rng, int vocab, int max_count,
+                                    const char* prefix) {
+  std::set<std::string> out;
+  const int count = rng.uniform_int(0, max_count);
+  for (int k = 0; k < count; ++k) {
+    out.insert(prefix + std::to_string(rng.uniform_int(0, vocab - 1)));
+  }
+  return out;
+}
+
+TEST(SimilarityPropertyTest, InternedKernelMatchesSeedKernelBitExactly) {
+  sim::Rng rng(0xfeed);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sa = random_bundle(rng, 24, 20, "str-feature-");
+    const auto ia = random_bundle(rng, 12, 10, "dll-import-");
+    const auto na = random_bundle(rng, 8, 6, ".sec");
+    const auto sb = random_bundle(rng, 24, 20, "str-feature-");
+    const auto ib = random_bundle(rng, 12, 10, "dll-import-");
+    const auto nb = random_bundle(rng, 8, 6, ".sec");
+    FeatureDict dict;
+    const auto fa = make_features(dict, sa, ia, na);
+    const auto fb = make_features(dict, sb, ib, nb);
+    const double interned = similarity(fa, fb);
+    const double seed = seed_similarity(sa, ia, na, sb, ib, nb);
+    EXPECT_DOUBLE_EQ(interned, seed) << "trial " << trial;
+  }
+}
+
+TEST(SimilarityPropertyTest, SimilarityIsSymmetric) {
+  sim::Rng rng(0xcafe);
+  for (int trial = 0; trial < 100; ++trial) {
+    FeatureDict dict;
+    const auto a =
+        make_features(dict, random_bundle(rng, 16, 12, "s-"),
+                      random_bundle(rng, 8, 8, "i-"),
+                      random_bundle(rng, 6, 4, "n-"));
+    const auto b =
+        make_features(dict, random_bundle(rng, 16, 12, "s-"),
+                      random_bundle(rng, 8, 8, "i-"),
+                      random_bundle(rng, 6, 4, "n-"));
+    EXPECT_DOUBLE_EQ(similarity(a, b), similarity(b, a)) << "trial " << trial;
+  }
+}
+
+TEST(SimilarityPropertyTest, SelfSimilarityIsAlwaysOne) {
+  sim::Rng rng(0xd00d);
+  for (int trial = 0; trial < 100; ++trial) {
+    FeatureDict dict;
+    const auto f =
+        make_features(dict, random_bundle(rng, 16, 12, "s-"),
+                      random_bundle(rng, 8, 8, "i-"),
+                      random_bundle(rng, 6, 4, "n-"));
+    EXPECT_DOUBLE_EQ(similarity(f, f), 1.0) << "trial " << trial;
+  }
+}
+
+TEST(SimilarityPropertyTest, FeatureDictInternsAreStableAndViewable) {
+  FeatureDict dict;
+  const auto a = dict.intern("mssecmgr.ocx");
+  const auto b = dict.intern_import("kernel32.dll", "CreateFileW");
+  EXPECT_EQ(dict.intern("mssecmgr.ocx"), a);
+  EXPECT_EQ(dict.intern("kernel32.dll!CreateFileW"), b);
+  EXPECT_EQ(dict.view(a), "mssecmgr.ocx");
+  EXPECT_EQ(dict.view(b), "kernel32.dll!CreateFileW");
+  EXPECT_EQ(dict.size(), 2u);
 }
 
 }  // namespace

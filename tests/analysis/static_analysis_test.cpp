@@ -26,6 +26,32 @@ TEST(StaticAnalysisTest, ExtractStringsFindsPrintableRuns) {
   EXPECT_EQ(strings[1], "GET_NEWS command");
 }
 
+TEST(StaticAnalysisTest, ForEachStringVisitsRunsInPlace) {
+  const std::string data =
+      std::string("\x01\x02", 2) + "mssecmgr.ocx" + std::string("\x00", 1) +
+      "short" + std::string("\xff", 1) + "GET_NEWS command";
+  std::vector<std::string_view> seen;
+  for_each_string(data, 6, [&](std::string_view s) { seen.push_back(s); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "mssecmgr.ocx");
+  EXPECT_EQ(seen[1], "GET_NEWS command");
+  // The views alias the scanned buffer — no copies were made.
+  for (const auto& s : seen) {
+    EXPECT_GE(s.data(), data.data());
+    EXPECT_LE(s.data() + s.size(), data.data() + data.size());
+  }
+  // A run terminated only by end-of-data still flushes.
+  std::vector<std::string_view> tail;
+  for_each_string("trailing-run", 6, [&](std::string_view s) {
+    tail.push_back(s);
+  });
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0], "trailing-run");
+  // Shim equivalence: extract_strings returns the same runs, copied.
+  EXPECT_EQ(extract_strings(data, 6),
+            (std::vector<std::string>{"mssecmgr.ocx", "GET_NEWS command"}));
+}
+
 TEST(StaticAnalysisTest, BruteXorRecoversKey) {
   const common::Bytes plain = "SPE1 some executable payload";
   for (std::uint8_t key : {0x01, 0x5A, 0xAB, 0xFF}) {

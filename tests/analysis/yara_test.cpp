@@ -110,5 +110,50 @@ TEST(YaraTest, MultipleRulesCanFireOnOneBuffer) {
   EXPECT_EQ(matches.size(), 2u);
 }
 
+TEST(YaraTest, SharedAutomatonAgreesWithPerRuleMatches) {
+  // RuleSet::scan answers every rule from one Aho–Corasick pass;
+  // YaraRule::matches is the per-pattern one-off path. They must agree on
+  // every input, including overlapping patterns across rules.
+  const auto set = RuleSet::parse(kSampleRules);
+  const std::vector<std::string> inputs = {
+      "",
+      "mrxcls",
+      "~wtr4132 mrxcls",                         // two strings of one rule
+      "mssecmgr FLASK BEETLEJUICE f1.inf",       // crosses rules
+      std::string("\xFF\xD8\xFF\xE0", 4) + " f1.inf ~wtr4132",
+      "no indicator content at all",
+  };
+  for (const auto& data : inputs) {
+    std::vector<std::string> via_matches;
+    for (const auto& rule : set.rules()) {
+      if (rule.matches(data)) via_matches.push_back(rule.name);
+    }
+    std::vector<std::string> via_scan;
+    for (const auto& match : set.scan(data)) via_scan.push_back(match.rule);
+    EXPECT_EQ(via_scan, via_matches) << "input: " << data;
+  }
+}
+
+TEST(YaraTest, OverlappingPatternsAcrossRulesAllRegister) {
+  // One rule's string is a substring of another rule's string; both rules
+  // must see their own hit from the shared pass.
+  const auto set = RuleSet::parse(R"(
+rule Long {
+  strings:
+    $a = "mssecmgr.ocx"
+  condition: any of them
+}
+rule Short {
+  strings:
+    $a = "secmgr"
+  condition: any of them
+}
+)");
+  const auto matches = set.scan("dropped mssecmgr.ocx to system32");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].rule, "Long");
+  EXPECT_EQ(matches[1].rule, "Short");
+}
+
 }  // namespace
 }  // namespace cyd::analysis
