@@ -1,8 +1,10 @@
 #include "analysis/similarity.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "analysis/static_analysis.hpp"
+#include "analysis/union_find.hpp"
 #include "pe/image.hpp"
 #include "sim/sweep.hpp"
 
@@ -10,6 +12,55 @@ namespace cyd::analysis {
 namespace {
 
 constexpr std::size_t kMinStringLength = 6;
+
+/// Rough distinct-feature count per specimen, used to pre-size the shared
+/// FeatureDict before the serial intern stage of a pile. Only a rehash
+/// hint — real piles dedup heavily across specimens, so this overshoots,
+/// which is the cheap direction.
+constexpr std::size_t kFeaturesPerSpecimenHint = 48;
+
+/// Pairs scored per sweep task. Coarse enough that the per-task dispatch
+/// (one std::function call, two clock reads) is noise; fine enough that
+/// the triangle load-balances across workers.
+constexpr std::uint64_t kPairBlock = 4096;
+
+/// Number of strict-upper-triangle pairs of an n x n matrix.
+std::uint64_t triangle_size(std::size_t n) {
+  return n < 2 ? 0
+               : static_cast<std::uint64_t>(n) * (n - 1) / 2;
+}
+
+/// Scores pairs [begin, end) of the triangle into out[begin - base..),
+/// decoding (i,j) arithmetically once and stepping it per pair.
+void score_pair_range(const std::vector<SpecimenFeatures>& features,
+                      std::uint64_t begin, std::uint64_t end,
+                      std::uint64_t base, double* out) {
+  const std::size_t n = features.size();
+  auto [i, j] = triangle_pair(begin, n);
+  for (std::uint64_t k = begin; k < end; ++k) {
+    out[k - base] = similarity(features[i], features[j]);
+    if (++j == n) {
+      ++i;
+      j = i + 1;
+    }
+  }
+}
+
+/// Sweeps pair scores for triangle indices [begin, begin + count) into
+/// out[0..count), in kPairBlock tasks. Each task owns a distinct slice of
+/// `out`, so the fan-out needs no synchronisation and the result is
+/// byte-identical to the serial loop regardless of worker count.
+void sweep_pair_scores(const std::vector<SpecimenFeatures>& features,
+                       std::uint64_t begin, std::uint64_t count,
+                       double* out) {
+  const std::uint64_t blocks = (count + kPairBlock - 1) / kPairBlock;
+  sim::default_sweep_runner().run_indexed(
+      static_cast<std::size_t>(blocks), [&](std::size_t b) {
+        const std::uint64_t lo = begin + b * kPairBlock;
+        const std::uint64_t hi = std::min(lo + kPairBlock, begin + count);
+        score_pair_range(features, lo, hi, begin, out);
+      });
+}
 
 void collect_features(const pe::Image& image, FeatureDict& dict,
                       SpecimenFeatures& out, int max_depth) {
@@ -94,6 +145,17 @@ FeatureId FeatureDict::intern_import(std::string_view dll,
   return intern(scratch_);
 }
 
+std::vector<SpecimenFeatures> extract_pile(
+    const std::vector<LabelledSpecimen>& specimens, FeatureDict& dict) {
+  dict.reserve(specimens.size() * kFeaturesPerSpecimenHint);
+  std::vector<SpecimenFeatures> features;
+  features.reserve(specimens.size());
+  for (const auto& specimen : specimens) {
+    features.push_back(extract_features(specimen.bytes, dict));
+  }
+  return features;
+}
+
 SpecimenFeatures extract_features(std::string_view bytes, FeatureDict& dict,
                                   int max_depth) {
   SpecimenFeatures out;
@@ -147,75 +209,105 @@ double specimen_similarity(std::string_view a, std::string_view b) {
   return similarity(fa, fb);
 }
 
+TrianglePair triangle_pair(std::uint64_t k, std::size_t n) {
+  // Pairs before row i: S(i) = i*n - i*(i+1)/2. Inverting S(i) <= k gives
+  // i = n - 1/2 - sqrt((n - 1/2)² - 2k); the double approximation can be
+  // off by one near row boundaries, so fix up exactly in integers.
+  const double nd = static_cast<double>(n) - 0.5;
+  const double disc = nd * nd - 2.0 * static_cast<double>(k);
+  double approx = nd - std::sqrt(disc > 0.0 ? disc : 0.0);
+  if (approx < 0.0) approx = 0.0;
+  std::size_t i = static_cast<std::size_t>(approx);
+  if (i > n - 2) i = n - 2;
+  const auto row_start = [n](std::size_t r) {
+    return static_cast<std::uint64_t>(r) * (2 * n - r - 1) / 2;
+  };
+  while (row_start(i) > k) --i;
+  while (i + 1 <= n - 2 && row_start(i + 1) <= k) ++i;
+  return {i, i + 1 + static_cast<std::size_t>(k - row_start(i))};
+}
+
+std::vector<double> similarity_triangle(
+    const std::vector<SpecimenFeatures>& features) {
+  std::vector<double> scores(triangle_size(features.size()));
+  sweep_pair_scores(features, 0, scores.size(), scores.data());
+  return scores;
+}
+
 std::vector<double> similarity_matrix(
     const std::vector<LabelledSpecimen>& specimens) {
   const std::size_t n = specimens.size();
   // Extraction feeds the shared dict, so it stays on the caller thread;
-  // the pure pairwise scores sweep.
+  // the pure pairwise scores sweep. Each block of triangle indices is
+  // decoded arithmetically and scatters its own symmetric cells — every
+  // matrix cell has exactly one writer, so no pair list and no score
+  // staging vector are ever materialized.
   FeatureDict dict;
-  std::vector<SpecimenFeatures> features;
-  features.reserve(n);
-  for (const auto& specimen : specimens) {
-    features.push_back(extract_features(specimen.bytes, dict));
-  }
-  struct Pair {
-    std::size_t i = 0;
-    std::size_t j = 0;
-  };
-  std::vector<Pair> pairs;
-  pairs.reserve(n * (n - 1) / 2);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) pairs.push_back({i, j});
-  }
-  const auto scores = sim::Sweep::map_items(pairs, [&](const Pair& p) {
-    return similarity(features[p.i], features[p.j]);
-  });
+  const auto features = extract_pile(specimens, dict);
   std::vector<double> matrix(n * n, 0.0);
   for (std::size_t i = 0; i < n; ++i) matrix[i * n + i] = 1.0;
-  for (std::size_t k = 0; k < pairs.size(); ++k) {
-    matrix[pairs[k].i * n + pairs[k].j] = scores[k];
-    matrix[pairs[k].j * n + pairs[k].i] = scores[k];
-  }
+  const std::uint64_t total = triangle_size(n);
+  const std::uint64_t blocks = (total + kPairBlock - 1) / kPairBlock;
+  sim::default_sweep_runner().run_indexed(
+      static_cast<std::size_t>(blocks), [&](std::size_t b) {
+        const std::uint64_t lo = b * kPairBlock;
+        const std::uint64_t hi = std::min(lo + kPairBlock, total);
+        auto [i, j] = triangle_pair(lo, n);
+        for (std::uint64_t k = lo; k < hi; ++k) {
+          const double score = similarity(features[i], features[j]);
+          matrix[i * n + j] = score;
+          matrix[j * n + i] = score;
+          if (++j == n) {
+            ++i;
+            j = i + 1;
+          }
+        }
+      });
   return matrix;
+}
+
+std::vector<std::vector<std::size_t>> cluster_feature_indices(
+    const std::vector<SpecimenFeatures>& features, double threshold) {
+  const std::size_t n = features.size();
+  UnionFind components(n);
+  // Stream the triangle in chunks: score a chunk on the pool, fold its
+  // above-threshold edges serially, reuse the buffer. Edge order within
+  // the fold is lexicographic, and smallest-root unions are order-
+  // invariant anyway, so chunking does not affect the clustering.
+  constexpr std::uint64_t kStreamChunk = std::uint64_t{1} << 22;
+  const std::uint64_t total = triangle_size(n);
+  std::vector<double> chunk(
+      static_cast<std::size_t>(std::min(total, kStreamChunk)));
+  for (std::uint64_t begin = 0; begin < total; begin += kStreamChunk) {
+    const std::uint64_t count = std::min(kStreamChunk, total - begin);
+    sweep_pair_scores(features, begin, count, chunk.data());
+    auto [i, j] = triangle_pair(begin, n);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      if (chunk[static_cast<std::size_t>(k)] >= threshold) {
+        components.unite(i, j);
+      }
+      if (++j == n) {
+        ++i;
+        j = i + 1;
+      }
+    }
+  }
+  return components.groups();
 }
 
 std::vector<std::vector<std::string>> cluster_specimens(
     const std::vector<LabelledSpecimen>& specimens, double threshold) {
-  const std::size_t n = specimens.size();
-  const auto matrix = similarity_matrix(specimens);
-  // Union-find over above-threshold edges (single linkage). Union by
-  // smallest root index: a component's representative is always its
-  // earliest member, so the grouping below comes out in a canonical order
-  // instead of depending on which edge happened to merge last.
-  std::vector<std::size_t> parent(n);
-  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
-  const auto find = [&](std::size_t x) -> std::size_t {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  };
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (matrix[i * n + j] < threshold) continue;
-      const std::size_t ri = find(i);
-      const std::size_t rj = find(j);
-      if (ri == rj) continue;
-      parent[std::max(ri, rj)] = std::min(ri, rj);
-    }
-  }
-  // Roots are minimal member indices, so iterating specimens in order
-  // yields clusters ordered by earliest member, members in input order.
+  // Exact path: extract once, stream the scored upper triangle into the
+  // smallest-root union-find — same scores and same canonical grouping as
+  // the old build-the-matrix-then-scan-it version, at half the peak memory
+  // (no n x n matrix, only the O(chunk) score buffer).
+  FeatureDict dict;
+  const auto features = extract_pile(specimens, dict);
   std::vector<std::vector<std::string>> out;
-  std::vector<std::size_t> group_of(n, static_cast<std::size_t>(-1));
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t root = find(i);
-    if (group_of[root] == static_cast<std::size_t>(-1)) {
-      group_of[root] = out.size();
-      out.emplace_back();
-    }
-    out[group_of[root]].push_back(specimens[i].label);
+  for (const auto& group : cluster_feature_indices(features, threshold)) {
+    auto& labels = out.emplace_back();
+    labels.reserve(group.size());
+    for (const std::size_t idx : group) labels.push_back(specimens[idx].label);
   }
   return out;
 }

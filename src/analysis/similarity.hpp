@@ -50,6 +50,11 @@ class FeatureDict {
   /// std::string per call (one scratch buffer, capacity reused).
   FeatureId intern_import(std::string_view dll, std::string_view fn);
 
+  /// Pre-sizes the id table for `expected` distinct features so the serial
+  /// intern stage of a large pile does not pay rehash churn. A hint, not a
+  /// cap: interning past it just grows as usual.
+  void reserve(std::size_t expected) { ids_.reserve(expected); }
+
   /// The string behind an id. Views stay valid for the dict's lifetime
   /// (entries live in a deque, later interning never moves them).
   std::string_view view(FeatureId id) const {
@@ -104,6 +109,13 @@ struct LabelledSpecimen {
   common::Bytes bytes;
 };
 
+/// Extracts a whole pile into one shared dict (pre-sized via
+/// FeatureDict::reserve so large piles skip rehash churn). The serial
+/// stage of every pile pipeline; the returned vector parallels
+/// `specimens`.
+std::vector<SpecimenFeatures> extract_pile(
+    const std::vector<LabelledSpecimen>& specimens, FeatureDict& dict);
+
 /// Single-linkage clustering at `threshold`; returns groups of labels.
 /// Two specimens land in one cluster iff a chain of pairwise similarities
 /// above the threshold connects them — how analysts grew the
@@ -116,9 +128,37 @@ std::vector<std::vector<std::string>> cluster_specimens(
 
 /// Full pairwise matrix (row-major, n x n) for reporting. Extraction is
 /// serial (one shared dict); the O(n²) pairwise stage sweeps the upper
-/// triangle across sim::Sweep::map_items with the usual
-/// bit-identical-to-serial aggregation.
+/// triangle across the sweep pool in fixed blocks of pair indices with the
+/// usual bit-identical-to-serial aggregation. The triangle is decoded
+/// arithmetically (k -> (i,j) via triangle_pair) inside the sweep lambda —
+/// no materialized index-pair vector, which at 10⁵ specimens would be 80 GB.
 std::vector<double> similarity_matrix(
     const std::vector<LabelledSpecimen>& specimens);
+
+/// Row/column of the k-th pair of the strict upper triangle of an n x n
+/// matrix in lexicographic order: k in [0, n(n-1)/2) maps to (i, j) with
+/// i < j, (0,1) first, (n-2, n-1) last. Constant-time arithmetic decode
+/// (one sqrt plus an integer fix-up), exact for any n the pair count of
+/// which fits a double's 53-bit mantissa (n <= ~10⁸).
+struct TrianglePair {
+  std::size_t i = 0;
+  std::size_t j = 0;
+};
+TrianglePair triangle_pair(std::uint64_t k, std::size_t n);
+
+/// Pairwise scores of the strict upper triangle in lexicographic (i<j)
+/// order — n(n-1)/2 doubles instead of the n x n matrix. This is the exact
+/// kernel the clustering paths and the scaling benches consume; values are
+/// the same doubles similarity_matrix scatters.
+std::vector<double> similarity_triangle(
+    const std::vector<SpecimenFeatures>& features);
+
+/// Exact single-linkage clustering over pre-extracted features, returned as
+/// canonical index groups (see cluster_specimens for the order contract).
+/// Streams the upper triangle in fixed-size chunks — score a chunk on the
+/// sweep pool, fold its above-threshold edges into the union-find, reuse
+/// the buffer — so peak memory is O(n + chunk), never the n x n matrix.
+std::vector<std::vector<std::size_t>> cluster_feature_indices(
+    const std::vector<SpecimenFeatures>& features, double threshold);
 
 }  // namespace cyd::analysis

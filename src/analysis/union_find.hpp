@@ -1,0 +1,67 @@
+#pragma once
+// Smallest-root union-find shared by the clustering entry points.
+//
+// Single-linkage family clustering is connectivity over above-threshold
+// similarity edges. Union by *smallest root index* makes the structure
+// canonical: a component's representative is always its earliest member,
+// so emitting groups by scanning elements in index order yields clusters
+// ordered by first member with members in input order — no matter which
+// edge happened to merge last, and no matter what order edges stream in.
+// That is the invariant the exact path has always had; the LSH candidate
+// path reuses it so both pipelines report identically-shaped clusterings.
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace cyd::analysis {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t size() const { return parent_.size(); }
+
+  /// Root of x's component, with path halving. Roots are always the
+  /// smallest member index of their component.
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the components of a and b; the smaller root wins.
+  void unite(std::size_t a, std::size_t b) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
+    if (ra == rb) return;
+    parent_[std::max(ra, rb)] = std::min(ra, rb);
+  }
+
+  /// Components in canonical order: groups ordered by their earliest
+  /// member, members in index order.
+  std::vector<std::vector<std::size_t>> groups() {
+    std::vector<std::vector<std::size_t>> out;
+    std::vector<std::size_t> group_of(parent_.size(),
+                                      static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < parent_.size(); ++i) {
+      const std::size_t root = find(i);
+      if (group_of[root] == static_cast<std::size_t>(-1)) {
+        group_of[root] = out.size();
+        out.emplace_back();
+      }
+      out[group_of[root]].push_back(i);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace cyd::analysis

@@ -363,6 +363,106 @@ TEST(SimilarityPropertyTest, SelfSimilarityIsAlwaysOne) {
   }
 }
 
+TEST(SimilarityTest, TrianglePairMatchesEnumerationOrder) {
+  // The arithmetic decode must agree with the double loop that defines the
+  // lexicographic pair order, for every k of several pile sizes.
+  for (const std::size_t n : {2u, 3u, 5u, 17u, 64u}) {
+    std::uint64_t k = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j, ++k) {
+        const auto pair = triangle_pair(k, n);
+        EXPECT_EQ(pair.i, i) << "n=" << n << " k=" << k;
+        EXPECT_EQ(pair.j, j) << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SimilarityTest, TrianglePairEndpointsAtLargeN) {
+  // Spot checks where the double-loop cross-check is unaffordable: the
+  // first pair, the last pair, and the row boundaries around a middle row.
+  const std::size_t n = 100'000;
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  EXPECT_EQ(triangle_pair(0, n).i, 0u);
+  EXPECT_EQ(triangle_pair(0, n).j, 1u);
+  EXPECT_EQ(triangle_pair(total - 1, n).i, n - 2);
+  EXPECT_EQ(triangle_pair(total - 1, n).j, n - 1);
+  // Row r starts at r*n - r(r+1)/2; decode must land exactly on (r, r+1).
+  const std::size_t r = 31'337;
+  const std::uint64_t row_start =
+      static_cast<std::uint64_t>(r) * n -
+      static_cast<std::uint64_t>(r) * (r + 1) / 2;
+  EXPECT_EQ(triangle_pair(row_start, n).i, r);
+  EXPECT_EQ(triangle_pair(row_start, n).j, r + 1);
+  EXPECT_EQ(triangle_pair(row_start - 1, n).i, r - 1);
+  EXPECT_EQ(triangle_pair(row_start - 1, n).j, n - 1);
+}
+
+TEST(SimilarityTest, TriangleScoresMatchMatrixUpperTriangle) {
+  SpecimenLab lab;
+  const auto specimens = lab.all();
+  FeatureDict dict;
+  const auto features = extract_pile(specimens, dict);
+  const auto triangle = similarity_triangle(features);
+  const auto matrix = similarity_matrix(specimens);
+  const std::size_t n = specimens.size();
+  ASSERT_EQ(triangle.size(), n * (n - 1) / 2);
+  std::uint64_t k = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j, ++k) {
+      EXPECT_DOUBLE_EQ(triangle[k], matrix[i * n + j]);
+    }
+  }
+}
+
+TEST(SimilarityTest, ClustersMatchMatrixDerivedReference) {
+  // Regression for the streaming refactor (satellite of the LSH work):
+  // cluster_specimens must produce exactly the clusters a reference
+  // union-find over the full matrix's above-threshold edges produces.
+  SpecimenLab lab;
+  const auto specimens = lab.all();
+  const double threshold = 0.18;
+  const auto matrix = similarity_matrix(specimens);
+  const std::size_t n = specimens.size();
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (matrix[i * n + j] < threshold) continue;
+      const auto ri = find(i), rj = find(j);
+      parent[std::max(ri, rj)] = std::min(ri, rj);
+    }
+  }
+  std::vector<std::vector<std::string>> reference;
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto root = find(i);
+    const auto at = std::find(roots.begin(), roots.end(), root);
+    if (at == roots.end()) {
+      roots.push_back(root);
+      reference.push_back({specimens[i].label});
+    } else {
+      reference[static_cast<std::size_t>(at - roots.begin())].push_back(
+          specimens[i].label);
+    }
+  }
+  EXPECT_EQ(cluster_specimens(specimens, threshold), reference);
+}
+
+TEST(SimilarityPropertyTest, FeatureDictReserveDoesNotPerturbIds) {
+  FeatureDict plain;
+  FeatureDict reserved;
+  reserved.reserve(1024);
+  for (const auto* s : {"alpha", "bravo", "charlie", "alpha"}) {
+    EXPECT_EQ(reserved.intern(s), plain.intern(s));
+  }
+  EXPECT_EQ(reserved.size(), plain.size());
+}
+
 TEST(SimilarityPropertyTest, FeatureDictInternsAreStableAndViewable) {
   FeatureDict dict;
   const auto a = dict.intern("mssecmgr.ocx");

@@ -154,6 +154,99 @@ TEST(BenchDiffTest, CpuTimeMetricIsSelectable) {
   EXPECT_FALSE(compare(baseline, current, Options{}).ok(false));
 }
 
+// A dump with one plain benchmark and one that exports a recall counter
+// (google-benchmark writes user counters as top-level numeric members).
+std::string counter_dump(double recall, bool with_counter = true) {
+  return R"({"benchmarks": [
+    {"name": "BM_Plain", "run_type": "iteration", "real_time": 10.0,
+     "cpu_time": 10.0, "time_unit": "ms"},
+    {"name": "BM_LshClusterPile", "run_type": "iteration", "real_time": 90.0,
+     "cpu_time": 90.0, "time_unit": "ms")" +
+         (with_counter ? ", \"recall\": " + std::to_string(recall) +
+                             ", \"candidate_reduction\": 32.5"
+                       : std::string()) +
+         R"(}]})";
+}
+
+TEST(BenchDiffTest, ExtractCountersReadsOnlyExportingBenchmarks) {
+  const auto counters = extract_counters(counter_dump(0.9991), "recall");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_NEAR(counters.at("BM_LshClusterPile"), 0.9991, 1e-6);
+  EXPECT_TRUE(extract_counters(counter_dump(0.9991), "no_such").empty());
+}
+
+TEST(BenchDiffTest, FloorAtOrAboveThresholdPasses) {
+  Options options;
+  options.floors["recall"] = 0.98;
+  // Exactly at the floor and above it both pass.
+  for (const double recall : {0.98, 0.9994}) {
+    const auto result =
+        compare(counter_dump(0.999), counter_dump(recall), options);
+    EXPECT_TRUE(result.ok(false)) << "recall " << recall;
+    ASSERT_EQ(result.floor_rows.size(), 1u);
+    EXPECT_FALSE(result.floor_rows[0].violation);
+    EXPECT_EQ(result.floor_rows[0].name, "BM_LshClusterPile");
+    EXPECT_EQ(result.floor_rows[0].counter, "recall");
+  }
+}
+
+TEST(BenchDiffTest, FloorBelowThresholdFails) {
+  Options options;
+  options.floors["recall"] = 0.98;
+  const auto result =
+      compare(counter_dump(0.999), counter_dump(0.93), options);
+  EXPECT_FALSE(result.ok(false));
+  EXPECT_EQ(result.floor_violation_count(), 1u);
+  ASSERT_EQ(result.floor_rows.size(), 1u);
+  EXPECT_TRUE(result.floor_rows[0].violation);
+  EXPECT_NEAR(result.floor_rows[0].current, 0.93, 1e-6);
+  EXPECT_TRUE(result.floor_rows[0].has_baseline);
+}
+
+TEST(BenchDiffTest, FloorIsAbsoluteNotATolearanceBand) {
+  // Baseline recall 0.999, current 0.985: a huge *relative* drop, but
+  // still above the absolute floor — must pass. The floor is a minimum,
+  // not a band around the baseline.
+  Options options;
+  options.floors["recall"] = 0.98;
+  const auto result =
+      compare(counter_dump(0.999), counter_dump(0.985), options);
+  EXPECT_TRUE(result.ok(false));
+  EXPECT_EQ(result.floor_violation_count(), 0u);
+}
+
+TEST(BenchDiffTest, FloorIgnoresBenchmarksWithoutTheCounter) {
+  // BM_Plain exports no recall counter; the floor must not apply to it.
+  Options options;
+  options.floors["recall"] = 0.98;
+  const auto result =
+      compare(counter_dump(0.999), counter_dump(0.999), options);
+  ASSERT_EQ(result.floor_rows.size(), 1u);
+  EXPECT_EQ(result.floor_rows[0].name, "BM_LshClusterPile");
+}
+
+TEST(BenchDiffTest, DroppedCounterIsAFloorViolation) {
+  // The benchmark still runs but stopped exporting recall: the gate must
+  // fail loudly instead of silently passing an unchecked run.
+  Options options;
+  options.floors["recall"] = 0.98;
+  const auto result = compare(counter_dump(0.999),
+                              counter_dump(0.0, /*with_counter=*/false),
+                              options);
+  EXPECT_FALSE(result.ok(false));
+  ASSERT_EQ(result.floor_rows.size(), 1u);
+  EXPECT_TRUE(result.floor_rows[0].violation);
+  EXPECT_FALSE(result.floor_rows[0].has_current);
+  EXPECT_TRUE(result.floor_rows[0].has_baseline);
+}
+
+TEST(BenchDiffTest, NoFloorsMeansNoFloorRows) {
+  const auto result =
+      compare(counter_dump(0.999), counter_dump(0.999), Options{});
+  EXPECT_TRUE(result.floor_rows.empty());
+  EXPECT_TRUE(result.ok(false));
+}
+
 TEST(BenchDiffTest, MalformedJsonThrows) {
   EXPECT_THROW(extract_times("{\"benchmarks\": [", "real_time"),
                std::runtime_error);

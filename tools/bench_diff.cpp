@@ -258,6 +258,30 @@ std::map<std::string, double> extract_times(std::string_view json,
   return out;
 }
 
+std::map<std::string, double> extract_counters(std::string_view json,
+                                               const std::string& counter) {
+  const auto doc = detail::parse_json(json);
+  const auto* benchmarks = doc.find("benchmarks");
+  if (benchmarks == nullptr ||
+      benchmarks->kind != detail::JsonValue::Kind::kArray) {
+    throw std::runtime_error(
+        "bench_diff: document has no \"benchmarks\" array");
+  }
+  std::map<std::string, double> out;
+  for (const auto& entry : benchmarks->items) {
+    const auto* run_type = entry.find("run_type");
+    if (run_type != nullptr && run_type->str != "iteration") continue;
+    const auto* name = entry.find("name");
+    const auto* value = entry.find(counter);
+    if (name == nullptr || value == nullptr ||
+        value->kind != detail::JsonValue::Kind::kNumber) {
+      continue;
+    }
+    out.emplace(name->str, value->number);  // first run wins
+  }
+  return out;
+}
+
 std::size_t Result::regression_count() const {
   std::size_t n = 0;
   for (const auto& row : rows) {
@@ -266,8 +290,17 @@ std::size_t Result::regression_count() const {
   return n;
 }
 
+std::size_t Result::floor_violation_count() const {
+  std::size_t n = 0;
+  for (const auto& row : floor_rows) {
+    if (row.violation) ++n;
+  }
+  return n;
+}
+
 bool Result::ok(bool allow_missing) const {
   if (regression_count() > 0) return false;
+  if (floor_violation_count() > 0) return false;
   return allow_missing || missing.empty();
 }
 
@@ -298,6 +331,44 @@ Result compare(std::string_view baseline_json, std::string_view current_json,
     current.erase(it);
   }
   for (const auto& [name, ns] : current) result.added.push_back(name);
+
+  // Floors: every current-run benchmark exporting the counter is held to
+  // the absolute minimum; a matched benchmark whose baseline exported the
+  // counter but which no longer does is a violation too (a silently
+  // dropped quality gate must not read as a pass).
+  for (const auto& [counter, floor] : options.floors) {
+    const auto baseline_vals = extract_counters(baseline_json, counter);
+    const auto current_vals = extract_counters(current_json, counter);
+    const auto current_names = extract_times(current_json, options.metric);
+    for (const auto& [name, value] : current_vals) {
+      FloorCheck check;
+      check.name = name;
+      check.counter = counter;
+      check.floor = floor;
+      check.current = value;
+      check.has_current = true;
+      if (const auto it = baseline_vals.find(name);
+          it != baseline_vals.end()) {
+        check.baseline = it->second;
+        check.has_baseline = true;
+      }
+      check.violation = value < floor;
+      result.floor_rows.push_back(std::move(check));
+    }
+    for (const auto& [name, value] : baseline_vals) {
+      if (current_vals.contains(name)) continue;
+      if (!current_names.contains(name)) continue;  // whole benchmark gone:
+                                                    // already in `missing`
+      FloorCheck check;
+      check.name = name;
+      check.counter = counter;
+      check.floor = floor;
+      check.baseline = value;
+      check.has_baseline = true;
+      check.violation = true;
+      result.floor_rows.push_back(std::move(check));
+    }
+  }
   return result;
 }
 

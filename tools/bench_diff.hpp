@@ -7,6 +7,13 @@
 // numbers against the committed baseline by benchmark name and fails when a
 // case slowed down past its tolerance. Faster-than-baseline is never an
 // error (it is reported, so baselines can be refreshed when wins land).
+//
+// Timings get a tolerance *band*; quality counters get a hard *floor*.
+// --floor NAME=F checks every benchmark that exports counter NAME (the
+// attribution benches export `recall`) against the absolute minimum F:
+// current < F fails, as does a matched benchmark that dropped a counter its
+// baseline had. There is no "within x% of baseline" for a floor — a recall
+// regression is a correctness bug, not a slowdown.
 
 #include <map>
 #include <string>
@@ -50,6 +57,10 @@ struct Options {
   /// When true, benchmarks present in the baseline but missing from the
   /// current run are reported but do not fail the comparison.
   bool allow_missing = false;
+  /// Hard floors on user counters, keyed by counter name: every benchmark
+  /// in the current run exporting the counter must report at least the
+  /// floor value. Absolute, not relative to the baseline.
+  std::map<std::string, double> floors;
 };
 
 /// One matched benchmark, times normalized to nanoseconds.
@@ -62,14 +73,30 @@ struct Comparison {
   bool regression = false;
 };
 
+/// One floor check: a (benchmark, counter) pair held against its minimum.
+struct FloorCheck {
+  std::string name;     // benchmark exporting the counter
+  std::string counter;  // counter name from Options::floors
+  double floor = 0.0;
+  double baseline = 0.0;  // context only; the floor is absolute
+  double current = 0.0;
+  bool has_baseline = false;
+  bool has_current = false;
+  /// current < floor, or the counter vanished from a benchmark whose
+  /// baseline exported it.
+  bool violation = false;
+};
+
 struct Result {
-  std::vector<Comparison> rows;      // matched, in baseline order
-  std::vector<std::string> missing;  // in baseline, absent from current
-  std::vector<std::string> added;    // in current, absent from baseline
+  std::vector<Comparison> rows;        // matched, in baseline order
+  std::vector<std::string> missing;    // in baseline, absent from current
+  std::vector<std::string> added;      // in current, absent from baseline
+  std::vector<FloorCheck> floor_rows;  // one per (benchmark, floor) pair
 
   std::size_t regression_count() const;
-  /// True when nothing regressed (and, unless allow_missing, nothing
-  /// disappeared).
+  std::size_t floor_violation_count() const;
+  /// True when nothing regressed, no floor was broken (and, unless
+  /// allow_missing, nothing disappeared).
   bool ok(bool allow_missing) const;
 };
 
@@ -79,6 +106,13 @@ struct Result {
 /// std::runtime_error on malformed JSON or an unknown metric/time unit.
 std::map<std::string, double> extract_times(std::string_view json,
                                             const std::string& metric);
+
+/// Extracts {benchmark name -> counter value} for one user counter from a
+/// google-benchmark JSON document. Counters appear as top-level numeric
+/// members of each benchmark entry; benchmarks without the counter are
+/// simply absent from the map. Same row filtering as extract_times.
+std::map<std::string, double> extract_counters(std::string_view json,
+                                               const std::string& counter);
 
 /// Compares two google-benchmark JSON documents. Throws std::runtime_error
 /// when either document is malformed.

@@ -1,12 +1,13 @@
 // bench_diff CLI — see bench_diff.hpp for the comparison rules.
 //
 // usage: bench_diff [--tolerance F] [--override NAME=F ...]
+//                   [--floor COUNTER=F ...]
 //                   [--metric real_time|cpu_time] [--allow-missing]
 //                   <baseline.json> <current.json>
 //
-// exit 0: no regressions; exit 1: regressions (or baselines missing from
-// the current run, unless --allow-missing); exit 2: usage / IO / parse
-// errors.
+// exit 0: no regressions; exit 1: regressions or broken counter floors (or
+// baselines missing from the current run, unless --allow-missing); exit 2:
+// usage / IO / parse errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +23,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: bench_diff [--tolerance F] [--override NAME=F ...]\n"
+               "                  [--floor COUNTER=F ...]\n"
                "                  [--metric real_time|cpu_time] "
                "[--allow-missing]\n"
                "                  <baseline.json> <current.json>\n");
@@ -53,6 +55,13 @@ int main(int argc, char** argv) {
       const auto eq = spec.rfind('=');
       if (eq == std::string::npos || eq == 0) return usage();
       options.overrides[spec.substr(0, eq)] =
+          std::strtod(spec.c_str() + eq + 1, nullptr);
+    } else if (arg == "--floor") {
+      if (++i >= argc) return usage();
+      const std::string spec = argv[i];
+      const auto eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) return usage();
+      options.floors[spec.substr(0, eq)] =
           std::strtod(spec.c_str() + eq + 1, nullptr);
     } else if (arg == "--metric") {
       if (++i >= argc) return usage();
@@ -102,6 +111,21 @@ int main(int argc, char** argv) {
     std::printf("%-44s %12s %12s %7s %7s  %s\n", name.c_str(), "-", "-", "-",
                 "-", "new (no baseline; re-capture to track)");
   }
+  if (!result.floor_rows.empty()) {
+    std::printf("\n%-44s %-20s %10s %10s  %s\n", "benchmark", "counter",
+                "floor", "current", "verdict");
+    for (const auto& row : result.floor_rows) {
+      char current[32];
+      if (row.has_current) {
+        std::snprintf(current, sizeof(current), "%.4f", row.current);
+      } else {
+        std::snprintf(current, sizeof(current), "%s", "absent");
+      }
+      std::printf("%-44s %-20s %10.4f %10s  %s\n", row.name.c_str(),
+                  row.counter.c_str(), row.floor, current,
+                  row.violation ? "BELOW FLOOR" : "ok");
+    }
+  }
 
   if (result.ok(options.allow_missing)) {
     std::printf("\nbench_diff: %zu benchmark(s) compared, no regressions\n",
@@ -115,6 +139,20 @@ int main(int argc, char** argv) {
       if (row.regression) {
         std::fprintf(stderr, " %s (%.2fx > %.2fx)", row.name.c_str(),
                      row.ratio, 1.0 + row.tolerance);
+      }
+    }
+  }
+  if (result.floor_violation_count() > 0) {
+    std::fprintf(stderr, " %zu counter floor violation(s):",
+                 result.floor_violation_count());
+    for (const auto& row : result.floor_rows) {
+      if (!row.violation) continue;
+      if (row.has_current) {
+        std::fprintf(stderr, " %s %s=%.4f < %.4f", row.name.c_str(),
+                     row.counter.c_str(), row.current, row.floor);
+      } else {
+        std::fprintf(stderr, " %s no longer exports %s", row.name.c_str(),
+                     row.counter.c_str());
       }
     }
   }
