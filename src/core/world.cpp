@@ -1,5 +1,7 @@
 #include "core/world.hpp"
 
+#include <cstdio>
+
 #include "pki/signing.hpp"
 
 namespace cyd::core {
@@ -8,35 +10,96 @@ World::World(std::uint64_t seed) : sim_(seed), rng_(seed ^ 0xab1e), network_(sim
   microsoft_ = std::make_unique<pki::MicrosoftPki>(sim_.now(), seed ^ 0x777);
 }
 
-winsys::Host& World::add_host(const std::string& name, winsys::OsVersion os,
-                              const std::string& subnet) {
-  hosts_.push_back(
-      std::make_unique<winsys::Host>(sim_, programs_, name, os));
-  winsys::Host& host = *hosts_.back();
+winsys::Host& World::register_host(std::unique_ptr<winsys::Host> host,
+                                   const std::string& subnet) {
+  hosts_.push_back(std::move(host));
+  winsys::Host& h = *hosts_.back();
   if (!subnet_counters_.contains(subnet)) {
     subnet_counters_[subnet] = 0;
     ++subnet_index_;
   }
   const int device = ++subnet_counters_[subnet];
-  network_.attach(host, subnet,
+  network_.attach(h, subnet,
                   "10." + std::to_string(subnet_index_) + ".0." +
                       std::to_string(device));
-  return host;
+  host_ptrs_.push_back(&h);
+  host_index_.emplace(h.name(), &h);  // first name wins, like the old scan
+  return h;
+}
+
+winsys::Host& World::add_host(const std::string& name, winsys::OsVersion os,
+                              const std::string& subnet) {
+  return register_host(
+      std::make_unique<winsys::Host>(sim_, programs_, name, os), subnet);
+}
+
+namespace {
+
+const char* archetype_stem(winsys::HostArchetype a) {
+  switch (a) {
+    case winsys::HostArchetype::kOfficePc: return "pc";
+    case winsys::HostArchetype::kEngineeringStation: return "eng";
+    case winsys::HostArchetype::kHmi: return "hmi";
+    case winsys::HostArchetype::kServer: return "srv";
+    case winsys::HostArchetype::kFileServer: return "fsr";
+    case winsys::HostArchetype::kDomainController: return "dc";
+    case winsys::HostArchetype::kLaptop: return "lap";
+    case winsys::HostArchetype::kKiosk: return "kio";
+  }
+  return "host";
+}
+
+}  // namespace
+
+const std::shared_ptr<const winsys::HostImage>& World::archetype_image(
+    winsys::HostArchetype archetype) {
+  auto& slot = images_[archetype];
+  if (slot == nullptr) {
+    winsys::HostImage::Builder builder(archetype,
+                                       winsys::default_os(archetype));
+    microsoft_->install_into(builder.cert_store());
+    microsoft_->anchor_root(builder.trust_store());
+    slot = builder.build();
+  }
+  return slot;
+}
+
+FleetHandle World::add_fleet(winsys::HostArchetype archetype,
+                             std::size_t count, const std::string& site,
+                             const FleetOptions& options) {
+  const auto image = archetype_image(archetype);
+  network_.add_site(site);
+  const std::size_t lan_size = options.lan_size > 0 ? options.lan_size : 1;
+  const FleetHandle handle{hosts_.size(), count};
+  const char* stem = archetype_stem(archetype);
+  std::string subnet;
+  char name[96];
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % lan_size == 0) {
+      subnet = site + "-lan" + std::to_string(i / lan_size);
+      network_.add_lan(site, subnet);
+    }
+    std::snprintf(name, sizeof(name), "%s-%s%05zu", site.c_str(), stem, i);
+    winsys::Host& host = register_host(
+        std::make_unique<winsys::Host>(sim_, programs_, name, image),
+        subnet);
+    host.set_event_log_cap(options.event_log_cap);
+    host.set_user_is_admin(options.user_is_admin);
+    if (options.internet_pct > 0 &&
+        i * 100 / count < static_cast<std::size_t>(options.internet_pct)) {
+      host.set_internet_access(true);
+    }
+    for (exploits::VulnId v : options.vulns) host.make_vulnerable(v);
+  }
+  return handle;
 }
 
 winsys::Host* World::find_host(const std::string& name) {
-  for (auto& host : hosts_) {
-    if (host->name() == name) return host.get();
-  }
-  return nullptr;
+  auto it = host_index_.find(name);
+  return it == host_index_.end() ? nullptr : it->second;
 }
 
-std::vector<winsys::Host*> World::hosts() {
-  std::vector<winsys::Host*> out;
-  out.reserve(hosts_.size());
-  for (auto& host : hosts_) out.push_back(host.get());
-  return out;
-}
+const std::vector<winsys::Host*>& World::hosts() { return host_ptrs_; }
 
 winsys::UsbDrive& World::add_usb(const std::string& id) {
   usb_drives_.push_back(std::make_unique<winsys::UsbDrive>(id));
@@ -63,8 +126,18 @@ void World::add_internet_landmarks() {
 }
 
 void World::provision_standard_pki(winsys::Host& host) {
-  microsoft_->install_into(host.cert_store());
-  microsoft_->anchor_root(host.trust_store());
+  // Image-backed hosts already carry the landscape through their image base.
+  if (host.cert_store().base() != nullptr) return;
+  if (standard_certs_ == nullptr) {
+    auto certs = std::make_shared<pki::CertStore>();
+    auto trust = std::make_shared<pki::TrustStore>();
+    microsoft_->install_into(*certs);
+    microsoft_->anchor_root(*trust);
+    standard_certs_ = std::move(certs);
+    standard_trust_ = std::move(trust);
+  }
+  host.cert_store().set_base(standard_certs_);
+  host.trust_store().set_base(standard_trust_);
 }
 
 std::size_t World::count_unbootable() const {

@@ -18,9 +18,32 @@
 #include "scada/step7.hpp"
 #include "sim/simulation.hpp"
 #include "winsys/host.hpp"
+#include "winsys/host_image.hpp"
 #include "winsys/usb.hpp"
 
 namespace cyd::core {
+
+/// Knobs for add_fleet. Defaults suit epidemic-scale sweeps: hosts carry a
+/// small bounded event log and split across LANs of 256.
+struct FleetOptions {
+  /// Hosts per LAN subnet within the site.
+  std::size_t lan_size = 256;
+  /// Event-log cap applied to every fleet host (see Host::log_event).
+  std::size_t event_log_cap = 64;
+  /// Percentage of the fleet with direct internet access; host i gets it
+  /// when i*100/count < internet_pct (the make_office_fleet formula).
+  int internet_pct = 0;
+  /// Interactive users run as admin (matching the 2010-era office default).
+  bool user_is_admin = true;
+  /// Vulnerability surface applied to every fleet host.
+  std::vector<exploits::VulnId> vulns;
+};
+
+/// A contiguous run of fleet hosts inside World::hosts().
+struct FleetHandle {
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
 
 class World {
  public:
@@ -37,8 +60,24 @@ class World {
   /// Creates a host and joins it to `subnet` with an auto-assigned address.
   winsys::Host& add_host(const std::string& name, winsys::OsVersion os,
                          const std::string& subnet);
+  /// Stamps `count` image-backed hosts of one archetype into `site`,
+  /// splitting them across LANs of options.lan_size ("<site>-lan<k>"
+  /// subnets registered with the network's site layer). Hosts share the
+  /// world's per-archetype template image — standard PKI included — so the
+  /// marginal cost per host is one empty delta, which is what makes
+  /// 10⁵–10⁶-host worlds affordable.
+  FleetHandle add_fleet(winsys::HostArchetype archetype, std::size_t count,
+                        const std::string& site,
+                        const FleetOptions& options = {});
+  /// The world's shared template image for an archetype (built lazily, with
+  /// the Microsoft certificate landscape baked in).
+  const std::shared_ptr<const winsys::HostImage>& archetype_image(
+      winsys::HostArchetype archetype);
   winsys::Host* find_host(const std::string& name);
-  std::vector<winsys::Host*> hosts();
+  /// Stable view of every host in creation order. The vector is cached —
+  /// fleet-wide helpers and sweep loops can call this per query without
+  /// re-materializing it.
+  const std::vector<winsys::Host*>& hosts();
   std::size_t host_count() const { return hosts_.size(); }
 
   winsys::UsbDrive& add_usb(const std::string& id);
@@ -51,7 +90,11 @@ class World {
   /// update.microsoft.com serving properly signed (empty-change) updates.
   void add_internet_landmarks();
 
-  /// Gives a host the stock Microsoft certificate landscape.
+  /// Gives a host the stock Microsoft certificate landscape by layering its
+  /// cert/trust stores over one shared base store (built on first use) —
+  /// trust-check results are identical to the old per-host deep copy, at
+  /// zero marginal memory per host. Image-backed hosts already carry the
+  /// landscape through their image and are left untouched.
   void provision_standard_pki(winsys::Host& host);
 
   // --- fleet-wide helpers ---
@@ -71,6 +114,16 @@ class World {
   std::vector<std::unique_ptr<scada::Plc>> plcs_;
   std::map<std::string, int> subnet_counters_;
   int subnet_index_ = 0;
+
+  winsys::Host& register_host(std::unique_ptr<winsys::Host> host,
+                              const std::string& subnet);
+
+  std::vector<winsys::Host*> host_ptrs_;               // mirrors hosts_
+  std::map<std::string, winsys::Host*> host_index_;    // first name wins
+  std::map<winsys::HostArchetype, std::shared_ptr<const winsys::HostImage>>
+      images_;
+  std::shared_ptr<pki::CertStore> standard_certs_;     // shared PKI base
+  std::shared_ptr<pki::TrustStore> standard_trust_;
 };
 
 }  // namespace cyd::core

@@ -1,6 +1,8 @@
 #include "net/network.hpp"
 
+#include <set>
 #include <stdexcept>
+#include <utility>
 
 #include "net/stack.hpp"
 #include "winsys/host.hpp"
@@ -43,6 +45,84 @@ std::vector<std::string> Network::subnets() const {
   out.reserve(subnets_.size());
   for (const auto& [name, members] : subnets_) out.push_back(name);
   return out;
+}
+
+Site& Network::add_site(const std::string& name) {
+  auto [it, inserted] = sites_.try_emplace(name);
+  if (inserted) {
+    it->second.name = name;
+    route_cache_.clear();
+  }
+  return it->second;
+}
+
+const Site* Network::find_site(const std::string& name) const {
+  auto it = sites_.find(name);
+  return it == sites_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Network::site_names() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) out.push_back(name);
+  return out;
+}
+
+void Network::add_lan(const std::string& site, const std::string& subnet) {
+  auto [it, inserted] = subnet_sites_.try_emplace(subnet, site);
+  if (!inserted) {
+    if (it->second != site) {
+      throw std::invalid_argument("Network::add_lan: subnet " + subnet +
+                                  " already belongs to site " + it->second);
+    }
+    return;
+  }
+  add_site(site).lans.push_back(subnet);
+}
+
+const Site* Network::site_of_subnet(const std::string& subnet) const {
+  auto it = subnet_sites_.find(subnet);
+  return it == subnet_sites_.end() ? nullptr : find_site(it->second);
+}
+
+void Network::link_sites(const std::string& a, const std::string& b,
+                         sim::Duration latency) {
+  if (a == b) return;
+  add_site(a).links.push_back(SiteLink{b, latency});
+  add_site(b).links.push_back(SiteLink{a, latency});
+  route_cache_.clear();
+}
+
+Route Network::route_between(const std::string& from_site,
+                             const std::string& to_site) const {
+  if (!sites_.contains(from_site) || !sites_.contains(to_site)) return {};
+  if (from_site == to_site) return Route{0, 0, true};
+  auto cached = route_cache_.find(from_site);
+  if (cached == route_cache_.end()) {
+    // Dijkstra over the WAN graph. The frontier is an ordered set keyed
+    // (latency, name), so equal-latency ties always resolve by site name and
+    // the routes are identical run to run.
+    std::map<std::string, Route> routes;
+    routes[from_site] = Route{0, 0, true};
+    std::set<std::pair<sim::Duration, std::string>> frontier;
+    frontier.emplace(0, from_site);
+    while (!frontier.empty()) {
+      const auto [dist, name] = *frontier.begin();
+      frontier.erase(frontier.begin());
+      const Route here = routes[name];
+      if (dist > here.latency) continue;  // stale frontier entry
+      for (const SiteLink& link : sites_.at(name).links) {
+        const sim::Duration next = dist + link.latency;
+        auto rit = routes.find(link.to);
+        if (rit != routes.end() && rit->second.latency <= next) continue;
+        routes[link.to] = Route{next, here.wan_hops + 1, true};
+        frontier.emplace(next, link.to);
+      }
+    }
+    cached = route_cache_.emplace(from_site, std::move(routes)).first;
+  }
+  auto it = cached->second.find(to_site);
+  return it == cached->second.end() ? Route{} : it->second;
 }
 
 void Network::register_internet_service(const std::string& domain,

@@ -7,6 +7,13 @@
 // Flame domains resolving to 22 servers is just many registrations sharing a
 // handler. Whether a LAN host can reach the internet at all is the host's
 // internet_access() flag (air-gapped cells simply never set it).
+//
+// Above the subnets sits an optional hierarchical layer for campaign-scale
+// worlds: a Site groups several LANs (an organization, a plant, a ministry),
+// and sites join each other through WAN links with per-link latency.
+// route_between answers "how far apart are these two organizations" with a
+// deterministic shortest-path search, which the epidemic scenarios use to
+// pace cross-site propagation.
 
 #include <functional>
 #include <map>
@@ -24,6 +31,27 @@ class Host;
 namespace cyd::net {
 
 class Stack;
+
+/// One directed WAN edge (links are registered in both directions).
+struct SiteLink {
+  std::string to;
+  sim::Duration latency = 0;
+};
+
+/// A multi-LAN site: one organization's network, joined to the rest of the
+/// world through WAN links.
+struct Site {
+  std::string name;
+  std::vector<std::string> lans;  // subnet names, in registration order
+  std::vector<SiteLink> links;    // outgoing WAN edges
+};
+
+/// Shortest WAN path between two sites.
+struct Route {
+  sim::Duration latency = 0;
+  int wan_hops = 0;
+  bool reachable = false;
+};
 
 class Network {
  public:
@@ -44,6 +72,24 @@ class Network {
   const std::vector<Stack*>& subnet_members(const std::string& subnet) const;
   Stack* find_stack(const std::string& host_name) const;
   std::vector<std::string> subnets() const;
+
+  // --- hierarchical topology (sites over LANs) ---
+  /// Get-or-create a site by name.
+  Site& add_site(const std::string& name);
+  const Site* find_site(const std::string& name) const;
+  std::vector<std::string> site_names() const;
+  /// Registers `subnet` as one of `site`'s LANs (creating the site as
+  /// needed). A subnet belongs to at most one site.
+  void add_lan(const std::string& site, const std::string& subnet);
+  /// Site owning a subnet, or nullptr for unassigned subnets.
+  const Site* site_of_subnet(const std::string& subnet) const;
+  /// Joins two sites with a bidirectional WAN link of the given latency.
+  void link_sites(const std::string& a, const std::string& b,
+                  sim::Duration latency);
+  /// Deterministic shortest-latency WAN route (ties broken by site name).
+  /// Memoized per source site; the cache resets when topology changes.
+  Route route_between(const std::string& from_site,
+                      const std::string& to_site) const;
 
   // --- internet ---
   /// Registers an internet service under `domain`. Re-registering replaces
@@ -71,6 +117,11 @@ class Network {
   std::map<std::string, HttpHandler> internet_;
   std::map<std::string, std::size_t> domain_hits_;
   std::vector<Stack*> empty_;
+
+  std::map<std::string, Site> sites_;
+  std::map<std::string, std::string> subnet_sites_;  // subnet -> site name
+  // from-site -> (to-site -> route), filled one source at a time
+  mutable std::map<std::string, std::map<std::string, Route>> route_cache_;
 };
 
 }  // namespace cyd::net

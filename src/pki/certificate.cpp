@@ -1,5 +1,6 @@
 #include "pki/certificate.hpp"
 
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -124,17 +125,53 @@ std::optional<Certificate> Certificate::parse(std::string_view bytes) {
   }
 }
 
+void CertStore::set_base(std::shared_ptr<const CertStore> base) {
+  assert(base == nullptr || base->base_ == nullptr);
+  base_ = std::move(base);
+}
+
 void CertStore::add(const Certificate& cert) { certs_[cert.serial] = cert; }
 
 const Certificate* CertStore::find(std::uint64_t serial) const {
   auto it = certs_.find(serial);
-  return it == certs_.end() ? nullptr : &it->second;
+  if (it != certs_.end()) return &it->second;
+  if (base_ != nullptr) {
+    auto bit = base_->certs_.find(serial);
+    if (bit != base_->certs_.end()) return &bit->second;
+  }
+  return nullptr;
+}
+
+std::size_t CertStore::size() const {
+  std::size_t total = certs_.size();
+  if (base_ != nullptr) {
+    for (const auto& [serial, cert] : base_->certs_) {
+      if (!certs_.contains(serial)) ++total;
+    }
+  }
+  return total;
 }
 
 std::vector<const Certificate*> CertStore::all() const {
   std::vector<const Certificate*> out;
   out.reserve(certs_.size());
-  for (const auto& [serial, cert] : certs_) out.push_back(&cert);
+  if (base_ == nullptr) {
+    for (const auto& [serial, cert] : certs_) out.push_back(&cert);
+    return out;
+  }
+  auto di = certs_.begin();
+  auto bi = base_->certs_.begin();
+  while (di != certs_.end() || bi != base_->certs_.end()) {
+    if (bi == base_->certs_.end() ||
+        (di != certs_.end() && di->first <= bi->first)) {
+      if (bi != base_->certs_.end() && bi->first == di->first) ++bi;
+      out.push_back(&di->second);
+      ++di;
+    } else {
+      out.push_back(&bi->second);
+      ++bi;
+    }
+  }
   return out;
 }
 

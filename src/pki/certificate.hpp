@@ -97,15 +97,27 @@ struct Certificate {
 
 /// A bundle of certificates indexed by serial; chain validation resolves
 /// issuers against one of these (hosts carry their own store).
+///
+/// Optionally layered over an immutable shared base (the template image's
+/// certificate landscape): find() consults delta -> base, add() writes the
+/// delta only, and a serial present in both resolves to the delta copy —
+/// the same last-wins rule a materialized store's add() applies.
 class CertStore {
  public:
+  /// Single-level copy-on-write layering; nullptr detaches.
+  void set_base(std::shared_ptr<const CertStore> base);
+  const CertStore* base() const { return base_.get(); }
+
   void add(const Certificate& cert);
   const Certificate* find(std::uint64_t serial) const;
-  std::size_t size() const { return certs_.size(); }
+  /// Distinct visible serials across delta and base.
+  std::size_t size() const;
+  /// Visible certificates in serial order (delta shadows base).
   std::vector<const Certificate*> all() const;
 
  private:
   std::map<std::uint64_t, Certificate> certs_;
+  std::shared_ptr<const CertStore> base_;
 };
 
 /// An issuing authority: owns a certificate and the matching private key.

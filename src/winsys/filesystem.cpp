@@ -6,7 +6,10 @@ namespace cyd::winsys {
 
 std::size_t Volume::used_bytes() const {
   std::size_t total = 0;
-  for (const auto& [path, node] : files_) total += node.data.size();
+  for_each_file(
+      [&total](const std::string&, const FileNode& node) {
+        total += node.data.size();
+      });
   return total;
 }
 
@@ -88,10 +91,10 @@ bool FileSystem::mkdirs(const Path& dir) {
   std::string current;
   for (const auto& comp : dir.components()) {
     current = current.empty() ? comp : current + "\\" + comp;
-    if (vol->files().contains(current)) return false;  // file in the way
+    if (vol->has_file(current)) return false;  // file in the way
     chain.push_back(current);
   }
-  for (auto& c : chain) vol->dirs().insert(std::move(c));
+  for (auto& c : chain) vol->add_dir(std::move(c));
   return true;
 }
 
@@ -101,12 +104,12 @@ bool FileSystem::exists(const Path& p) const {
 
 bool FileSystem::is_dir(const Path& p) const {
   const Volume* vol = volume_of(p);
-  return vol != nullptr && vol->dirs().contains(rel(p));
+  return vol != nullptr && vol->has_dir(rel(p));
 }
 
 bool FileSystem::is_file(const Path& p) const {
   const Volume* vol = volume_of(p);
-  return vol != nullptr && vol->files().contains(rel(p));
+  return vol != nullptr && vol->has_file(rel(p));
 }
 
 bool FileSystem::write_file(const Path& p, common::Bytes data,
@@ -114,22 +117,22 @@ bool FileSystem::write_file(const Path& p, common::Bytes data,
   Volume* vol = volume_of(p);
   if (vol == nullptr || p.is_root()) return false;
   const std::string r = rel(p);
-  if (vol->dirs().contains(r)) return false;  // directory in the way
+  if (vol->has_dir(r)) return false;  // directory in the way
   if (!mkdirs(p.parent())) return false;
 
-  auto it = vol->files().find(r);
-  if (it == vol->files().end()) {
+  if (const FileNode* existing = vol->find_file(r); existing == nullptr) {
     FileNode node;
     node.data = data;
     node.attr = attr;
     node.created = now;
     node.modified = now;
-    vol->files().emplace(r, std::move(node));
+    vol->put_file(r, std::move(node));
   } else {
-    if (it->second.attr.readonly) return false;
-    ++it->second.overwrite_count;
-    it->second.data = data;
-    it->second.modified = now;
+    if (existing->attr.readonly) return false;
+    FileNode* node = vol->materialize_file(r);
+    ++node->overwrite_count;
+    node->data = data;
+    node->modified = now;
   }
   notify(FsEvent{FsEvent::Kind::kWrite, p, &data});
   return true;
@@ -138,40 +141,37 @@ bool FileSystem::write_file(const Path& p, common::Bytes data,
 std::optional<common::Bytes> FileSystem::read_file(const Path& p) const {
   const Volume* vol = volume_of(p);
   if (vol == nullptr) return std::nullopt;
-  auto it = vol->files().find(rel(p));
-  if (it == vol->files().end()) return std::nullopt;
+  const FileNode* node = vol->find_file(rel(p));
+  if (node == nullptr) return std::nullopt;
   notify(FsEvent{FsEvent::Kind::kRead, p, nullptr});
-  return it->second.data;
+  return node->data;
 }
 
 const FileNode* FileSystem::stat(const Path& p) const {
   const Volume* vol = volume_of(p);
-  if (vol == nullptr) return nullptr;
-  auto it = vol->files().find(rel(p));
-  return it == vol->files().end() ? nullptr : &it->second;
+  return vol == nullptr ? nullptr : vol->find_file(rel(p));
 }
 
 FileNode* FileSystem::stat_mutable(const Path& p) {
   Volume* vol = volume_of(p);
-  if (vol == nullptr) return nullptr;
-  auto it = vol->files().find(rel(p));
-  return it == vol->files().end() ? nullptr : &it->second;
+  return vol == nullptr ? nullptr : vol->materialize_file(rel(p));
 }
 
 bool FileSystem::delete_file(const Path& p, sim::TimePoint now, bool shred) {
   Volume* vol = volume_of(p);
   if (vol == nullptr) return false;
-  auto it = vol->files().find(rel(p));
-  if (it == vol->files().end()) return false;
+  const std::string r = rel(p);
+  const FileNode* node = vol->find_file(r);
+  if (node == nullptr) return false;
   Tombstone stone;
-  stone.rel_path = it->first;
+  stone.rel_path = r;
   stone.deleted_at = now;
   stone.shredded = shred;
   // Shredded remnants keep nothing; plain deletion leaves the last content
   // recoverable (which is why wipers overwrite *before* deleting).
-  stone.data = shred ? common::Bytes() : it->second.data;
+  stone.data = shred ? common::Bytes() : node->data;
   vol->tombstones().push_back(std::move(stone));
-  vol->files().erase(it);
+  vol->erase_file(r);
   notify(FsEvent{FsEvent::Kind::kDelete, p, nullptr});
   return true;
 }
@@ -186,19 +186,16 @@ std::size_t FileSystem::delete_tree(const Path& dir, sim::TimePoint now,
   }
   // Drop the directory entries at and below dir, except the root itself.
   const std::string r = rel(dir);
-  for (auto it = vol->dirs().begin(); it != vol->dirs().end();) {
-    const std::string& d = *it;
+  std::vector<std::string> doomed;
+  vol->for_each_dir_under(r, [&](const std::string& d) {
     const bool below =
         !r.empty()
             ? (d == r || (d.size() > r.size() && d.compare(0, r.size(), r) == 0 &&
                           d[r.size()] == '\\'))
             : !d.empty();
-    if (below) {
-      it = vol->dirs().erase(it);
-    } else {
-      ++it;
-    }
-  }
+    if (below) doomed.push_back(d);
+  });
+  for (const auto& d : doomed) vol->erase_dir(d);
   return removed;
 }
 
@@ -206,17 +203,18 @@ bool FileSystem::rename(const Path& from, const Path& to, sim::TimePoint now) {
   Volume* src = volume_of(from);
   Volume* dst = volume_of(to);
   if (src == nullptr || dst == nullptr) return false;
-  auto it = src->files().find(rel(from));
-  if (it == src->files().end()) return false;
+  const std::string from_rel = rel(from);
+  const FileNode* src_node = src->find_file(from_rel);
+  if (src_node == nullptr) return false;
   const std::string to_rel = rel(to);
-  if (dst->files().contains(to_rel) || dst->dirs().contains(to_rel)) {
+  if (dst->has_file(to_rel) || dst->has_dir(to_rel)) {
     return false;
   }
   if (!mkdirs(to.parent())) return false;
-  FileNode node = std::move(it->second);
+  FileNode node = *src_node;
   node.modified = now;
-  src->files().erase(it);
-  dst->files().emplace(to_rel, std::move(node));
+  src->erase_file(from_rel);
+  dst->put_file(to_rel, std::move(node));
   notify(FsEvent{FsEvent::Kind::kRename, to, nullptr});
   return true;
 }
@@ -224,7 +222,7 @@ bool FileSystem::rename(const Path& from, const Path& to, sim::TimePoint now) {
 std::vector<std::string> FileSystem::list_dir(const Path& dir) const {
   std::vector<std::string> out;
   const Volume* vol = volume_of(dir);
-  if (vol == nullptr || !vol->dirs().contains(rel(dir))) return out;
+  if (vol == nullptr || !vol->has_dir(rel(dir))) return out;
   const std::string r = rel(dir);
   const std::string prefix = r.empty() ? "" : r + "\\";
   auto collect = [&](const std::string& entry) {
@@ -237,8 +235,9 @@ std::vector<std::string> FileSystem::list_dir(const Path& dir) const {
       out.push_back(rest);
     }
   };
-  for (const auto& d : vol->dirs()) collect(d);
-  for (const auto& [path, node] : vol->files()) collect(path);
+  vol->for_each_dir_under(prefix, collect);
+  vol->for_each_file_under(
+      prefix, [&](const std::string& path, const FileNode&) { collect(path); });
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -248,22 +247,22 @@ std::vector<Path> FileSystem::find_files(const Path& dir) const {
   const Volume* vol = volume_of(dir);
   if (vol == nullptr) return out;
   const std::string r = rel(dir);
-  for (const auto& [path, node] : vol->files()) {
+  vol->for_each_file_under(r, [&](const std::string& path, const FileNode&) {
     const bool within =
         r.empty() || path == r ||
         (path.size() > r.size() && path.compare(0, r.size(), r) == 0 &&
          path[r.size()] == '\\');
     if (within) out.push_back(abs(dir.drive(), path));
-  }
+  });
   return out;
 }
 
 std::vector<Path> FileSystem::all_files() const {
   std::vector<Path> out;
   for (const auto& [letter, vol] : volumes_) {
-    for (const auto& [path, node] : vol->files()) {
+    vol->for_each_file([&](const std::string& path, const FileNode&) {
       out.push_back(abs(letter, path));
-    }
+    });
   }
   return out;
 }

@@ -8,7 +8,15 @@
 // the mount point. Deleted files leave recoverable tombstones unless they
 // were shredded (overwritten before deletion) — the hook the forensics
 // module uses to measure what SUICIDE/LogWiper/Shamoon leave behind.
+//
+// A Volume is either self-contained or layered copy-on-write over an
+// immutable base (the golden template image of winsys/host_image.hpp): reads
+// consult delta -> base, writes and deletes materialize only the touched
+// paths into the delta plus whiteout sets. A fleet of ten thousand hosts
+// stamped from one image then costs one image plus ten thousand small deltas
+// instead of ten thousand full filesystem trees.
 
+#include <cassert>
 #include <functional>
 #include <map>
 #include <memory>
@@ -49,6 +57,12 @@ struct Tombstone {
 
 /// One disk or stick's contents, independent of any mount point. Paths are
 /// drive-relative canonical strings; "" denotes the root directory.
+///
+/// Optionally layered over an immutable base volume (set_base): the visible
+/// state is then delta ∪ (base − whiteouts), with delta entries shadowing
+/// base entries of the same path. files()/dirs()/tombstones() expose the
+/// *delta layer only* — use the query/traversal API below for the merged
+/// view. A base-less volume behaves exactly as before the layering existed.
 class Volume {
  public:
   Volume() { dirs_.insert(""); }
@@ -56,20 +70,180 @@ class Volume {
   void set_label(std::string label) { label_ = std::move(label); }
   const std::string& label() const { return label_; }
 
+  /// Layers this volume copy-on-write over an immutable base. Single-level
+  /// by construction (the base must itself be base-less) so every query
+  /// stays a two-map lookup. Pass nullptr to detach.
+  void set_base(std::shared_ptr<const Volume> base) {
+    assert(base == nullptr || base->base_ == nullptr);
+    base_ = std::move(base);
+  }
+  const Volume* base() const { return base_.get(); }
+
+  // Delta-layer accessors. Writing through these on a layered volume edits
+  // the delta (shadowing, not erasing, base entries); on a base-less volume
+  // they are the whole truth, as they always were.
   std::map<std::string, FileNode>& files() { return files_; }
   const std::map<std::string, FileNode>& files() const { return files_; }
   std::set<std::string>& dirs() { return dirs_; }
   const std::set<std::string>& dirs() const { return dirs_; }
   std::vector<Tombstone>& tombstones() { return tombstones_; }
   const std::vector<Tombstone>& tombstones() const { return tombstones_; }
+  const std::set<std::string>& deleted_files() const { return deleted_files_; }
+  const std::set<std::string>& deleted_dirs() const { return deleted_dirs_; }
+
+  // --- merged (delta -> base) queries; `rel` is a drive-relative path ---
+  bool has_file(const std::string& rel) const {
+    if (files_.contains(rel)) return true;
+    if (deleted_files_.contains(rel)) return false;
+    return base_ != nullptr && base_->files_.contains(rel);
+  }
+  bool has_dir(const std::string& rel) const {
+    if (dirs_.contains(rel)) return true;
+    if (deleted_dirs_.contains(rel)) return false;
+    return base_ != nullptr && base_->dirs_.contains(rel);
+  }
+  /// Visible node for `rel`, or nullptr. May point into the base image —
+  /// callers must not mutate through it (use materialize_file for that).
+  const FileNode* find_file(const std::string& rel) const {
+    auto it = files_.find(rel);
+    if (it != files_.end()) return &it->second;
+    if (deleted_files_.contains(rel)) return nullptr;
+    if (base_ != nullptr) {
+      auto bit = base_->files_.find(rel);
+      if (bit != base_->files_.end()) return &bit->second;
+    }
+    return nullptr;
+  }
+  /// Mutable node for `rel`, copying it up from the base into the delta on
+  /// first touch. nullptr when the path is not visible.
+  FileNode* materialize_file(const std::string& rel) {
+    auto it = files_.find(rel);
+    if (it != files_.end()) return &it->second;
+    if (deleted_files_.contains(rel)) return nullptr;
+    if (base_ != nullptr) {
+      auto bit = base_->files_.find(rel);
+      if (bit != base_->files_.end()) {
+        return &files_.emplace(rel, bit->second).first->second;
+      }
+    }
+    return nullptr;
+  }
+  /// Creates or replaces the delta entry (clearing any whiteout).
+  void put_file(const std::string& rel, FileNode node) {
+    deleted_files_.erase(rel);
+    files_.insert_or_assign(rel, std::move(node));
+  }
+  /// Removes `rel` from view; a base-backed path gets a whiteout. Returns
+  /// false when the path was not visible.
+  bool erase_file(const std::string& rel) {
+    const bool in_delta = files_.erase(rel) > 0;
+    if (base_ != nullptr && base_->files_.contains(rel)) {
+      deleted_files_.insert(rel);
+      return true;
+    }
+    return in_delta;
+  }
+  void add_dir(const std::string& rel) {
+    deleted_dirs_.erase(rel);
+    dirs_.insert(rel);
+  }
+  bool erase_dir(const std::string& rel) {
+    const bool in_delta = dirs_.erase(rel) > 0;
+    if (base_ != nullptr && base_->dirs_.contains(rel)) {
+      deleted_dirs_.insert(rel);
+      return true;
+    }
+    return in_delta;
+  }
+
+  /// Visits every visible file in path order (delta shadows base, whiteouts
+  /// skipped). fn(const std::string& rel, const FileNode&).
+  template <typename Fn>
+  void for_each_file(Fn&& fn) const {
+    for_each_file_under(std::string{}, std::forward<Fn>(fn));
+  }
+  /// Same, restricted to rel paths with the given string prefix (callers
+  /// layer their own component-boundary filtering on top).
+  template <typename Fn>
+  void for_each_file_under(const std::string& prefix, Fn&& fn) const {
+    auto di = files_.lower_bound(prefix);
+    const auto dend = files_.end();
+    auto in_range = [&prefix](const std::string& key) {
+      return key.compare(0, prefix.size(), prefix) == 0;
+    };
+    if (base_ == nullptr) {
+      for (; di != dend && in_range(di->first); ++di) {
+        fn(di->first, di->second);
+      }
+      return;
+    }
+    auto bi = base_->files_.lower_bound(prefix);
+    const auto bend = base_->files_.end();
+    bool d_ok = di != dend && in_range(di->first);
+    bool b_ok = bi != bend && in_range(bi->first);
+    while (d_ok || b_ok) {
+      if (b_ok && (!d_ok || bi->first < di->first)) {
+        if (!deleted_files_.contains(bi->first)) fn(bi->first, bi->second);
+        ++bi;
+        b_ok = bi != bend && in_range(bi->first);
+      } else {
+        if (b_ok && bi->first == di->first) {  // delta shadows base
+          ++bi;
+          b_ok = bi != bend && in_range(bi->first);
+        }
+        fn(di->first, di->second);
+        ++di;
+        d_ok = di != dend && in_range(di->first);
+      }
+    }
+  }
+  /// Visits every visible directory in path order ("" = root included).
+  template <typename Fn>
+  void for_each_dir(Fn&& fn) const {
+    for_each_dir_under(std::string{}, std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void for_each_dir_under(const std::string& prefix, Fn&& fn) const {
+    auto di = dirs_.lower_bound(prefix);
+    const auto dend = dirs_.end();
+    auto in_range = [&prefix](const std::string& key) {
+      return key.compare(0, prefix.size(), prefix) == 0;
+    };
+    if (base_ == nullptr) {
+      for (; di != dend && in_range(*di); ++di) fn(*di);
+      return;
+    }
+    auto bi = base_->dirs_.lower_bound(prefix);
+    const auto bend = base_->dirs_.end();
+    bool d_ok = di != dend && in_range(*di);
+    bool b_ok = bi != bend && in_range(*bi);
+    while (d_ok || b_ok) {
+      if (b_ok && (!d_ok || *bi < *di)) {
+        if (!deleted_dirs_.contains(*bi)) fn(*bi);
+        ++bi;
+        b_ok = bi != bend && in_range(*bi);
+      } else {
+        if (b_ok && *bi == *di) {
+          ++bi;
+          b_ok = bi != bend && in_range(*bi);
+        }
+        fn(*di);
+        ++di;
+        d_ok = di != dend && in_range(*di);
+      }
+    }
+  }
 
   std::size_t used_bytes() const;
 
  private:
   std::string label_;
-  std::map<std::string, FileNode> files_;  // rel path -> node
+  std::shared_ptr<const Volume> base_;     // immutable template image layer
+  std::map<std::string, FileNode> files_;  // rel path -> node (delta)
   std::set<std::string> dirs_;             // rel dir paths ("" = root)
   std::vector<Tombstone> tombstones_;
+  std::set<std::string> deleted_files_;  // whiteouts over base files
+  std::set<std::string> deleted_dirs_;   // whiteouts over base dirs
 };
 
 /// Observer invoked on mutating operations; the AV on-access scanner and the

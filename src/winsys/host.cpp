@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "winsys/host_image.hpp"
 #include "winsys/usb.hpp"
 
 namespace cyd::winsys {
@@ -44,12 +45,38 @@ Host::Host(sim::Simulation& simulation, ProgramRegistry& programs,
                        : DriverPolicy::kAllowUnsigned;
 }
 
+Host::Host(sim::Simulation& simulation, ProgramRegistry& programs,
+           std::string name, std::shared_ptr<const HostImage> image)
+    : sim_(simulation),
+      programs_(programs),
+      name_(std::move(name)),
+      os_(image->os()),
+      image_(std::move(image)) {
+  // The image already holds the Windows skeleton the materialized
+  // constructor would write; this host only layers empty deltas over it.
+  fs_.add_volume('c').set_base(image_->system_volume());
+  registry_.set_base(image_->registry());
+  certs_.set_base(image_->cert_store());
+  trust_.set_base(image_->trust_store());
+  driver_policy_ = os_ == OsVersion::kWin7x64
+                       ? DriverPolicy::kRequireValidSignature
+                       : DriverPolicy::kAllowUnsigned;
+}
+
 void Host::trace(sim::TraceCategory category, std::string_view action,
                  std::string_view detail) {
   sim_.log(category, name_, action, detail);
 }
 
 void Host::log_event(const std::string& source, const std::string& message) {
+  if (event_log_.size() >= event_log_cap_ && event_log_cap_ > 0) {
+    // Discard the older half in one move so appends stay amortized O(1)
+    // while the newest entries (what forensics reads) survive.
+    const std::size_t drop = event_log_.size() / 2 + 1;
+    event_log_.erase(event_log_.begin(),
+                     event_log_.begin() + static_cast<std::ptrdiff_t>(drop));
+    event_log_dropped_ += drop;
+  }
   event_log_.push_back(EventLogEntry{sim_.now(), source, message});
 }
 

@@ -36,6 +36,7 @@ class Stack;
 
 namespace cyd::winsys {
 
+class HostImage;
 class UsbDrive;
 
 enum class OsVersion : std::uint8_t {
@@ -86,6 +87,12 @@ class Host {
  public:
   Host(sim::Simulation& simulation, ProgramRegistry& programs,
        std::string name, OsVersion os);
+  /// Image-backed construction: the host's filesystem/registry/PKI stores
+  /// layer copy-on-write over the shared template image instead of
+  /// materializing a full Windows tree. Behaviorally identical to a
+  /// materialized host with the image's content.
+  Host(sim::Simulation& simulation, ProgramRegistry& programs,
+       std::string name, std::shared_ptr<const HostImage> image);
 
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
@@ -93,6 +100,9 @@ class Host {
   // --- identity & substrate access ---
   const std::string& name() const { return name_; }
   OsVersion os() const { return os_; }
+  /// Template image this host was stamped from; nullptr for materialized
+  /// hosts.
+  const HostImage* image() const { return image_.get(); }
   HostState state() const { return state_; }
   sim::Simulation& simulation() { return sim_; }
   ProgramRegistry& programs() { return programs_; }
@@ -232,9 +242,18 @@ class Host {
   void detach_component(const std::string& key) { components_.erase(key); }
 
   // --- event log & tracing ---
+  /// Appends to the bounded event log. When the cap is reached the older
+  /// half is discarded (amortized O(1)); the most recent entries — what
+  /// forensics and the AV timeline read — always survive. The default cap
+  /// is far above anything a single-host scenario produces; fleet builders
+  /// lower it so 10⁶ hosts don't drown in log strings.
   void log_event(const std::string& source, const std::string& message);
   const std::vector<EventLogEntry>& event_log() const { return event_log_; }
   void clear_event_log() { event_log_.clear(); }
+  void set_event_log_cap(std::size_t cap) { event_log_cap_ = cap; }
+  std::size_t event_log_cap() const { return event_log_cap_; }
+  /// Entries discarded so far by the cap.
+  std::size_t event_log_dropped() const { return event_log_dropped_; }
   /// Trace helper attributed to this host. Allocation-free: the log interns
   /// the strings, so nothing is copied on the hot path.
   void trace(sim::TraceCategory category, std::string_view action,
@@ -276,6 +295,9 @@ class Host {
 
   std::map<std::string, std::shared_ptr<HostComponent>> components_;
   std::vector<EventLogEntry> event_log_;
+  std::size_t event_log_cap_ = 4096;
+  std::size_t event_log_dropped_ = 0;
+  std::shared_ptr<const HostImage> image_;
 };
 
 }  // namespace cyd::winsys

@@ -1,8 +1,43 @@
 #include "winsys/registry.hpp"
 
+#include <cassert>
 #include <cctype>
 
 namespace cyd::winsys {
+
+namespace {
+
+using ValueMap = std::map<std::string, RegValue>;
+
+const ValueMap kNoValues;
+
+/// Visits the merged value names of one key in sorted order: delta shadows
+/// base, whiteouted base names are skipped.
+template <typename Fn>
+void merge_value_names(const ValueMap& delta, const ValueMap& base,
+                       const std::set<std::string>* whiteouts, Fn&& fn) {
+  auto di = delta.begin();
+  auto bi = base.begin();
+  while (di != delta.end() || bi != base.end()) {
+    if (bi == base.end() || (di != delta.end() && di->first <= bi->first)) {
+      if (bi != base.end() && bi->first == di->first) ++bi;
+      fn(di->first);
+      ++di;
+    } else {
+      if (whiteouts == nullptr || !whiteouts->contains(bi->first)) {
+        fn(bi->first);
+      }
+      ++bi;
+    }
+  }
+}
+
+}  // namespace
+
+void Registry::set_base(std::shared_ptr<const Registry> base) {
+  assert(base == nullptr || base->base_ == nullptr);
+  base_ = std::move(base);
+}
 
 std::string Registry::canon(std::string_view s) {
   std::string out;
@@ -25,15 +60,32 @@ std::string Registry::canon(std::string_view s) {
 
 void Registry::set(std::string_view key, std::string_view value,
                    RegValue data) {
-  keys_[canon(key)][canon(value)] = std::move(data);
+  const std::string k = canon(key);
+  const std::string v = canon(value);
+  if (auto dit = deleted_values_.find(k); dit != deleted_values_.end()) {
+    dit->second.erase(v);
+  }
+  keys_[k][v] = std::move(data);
 }
 
 std::optional<RegValue> Registry::get(std::string_view key,
                                       std::string_view value) const {
-  auto kit = keys_.find(canon(key));
-  if (kit == keys_.end()) return std::nullopt;
-  auto vit = kit->second.find(canon(value));
-  if (vit == kit->second.end()) return std::nullopt;
+  const std::string k = canon(key);
+  const std::string v = canon(value);
+  if (auto kit = keys_.find(k); kit != keys_.end()) {
+    if (auto vit = kit->second.find(v); vit != kit->second.end()) {
+      return vit->second;
+    }
+  }
+  if (base_ == nullptr || deleted_keys_.contains(k)) return std::nullopt;
+  if (auto dit = deleted_values_.find(k);
+      dit != deleted_values_.end() && dit->second.contains(v)) {
+    return std::nullopt;
+  }
+  auto bit = base_->keys_.find(k);
+  if (bit == base_->keys_.end()) return std::nullopt;
+  auto vit = bit->second.find(v);
+  if (vit == bit->second.end()) return std::nullopt;
   return vit->second;
 }
 
@@ -52,45 +104,116 @@ std::optional<std::uint32_t> Registry::get_dword(std::string_view key,
 }
 
 bool Registry::remove_value(std::string_view key, std::string_view value) {
-  auto kit = keys_.find(canon(key));
-  if (kit == keys_.end()) return false;
-  return kit->second.erase(canon(value)) > 0;
+  const std::string k = canon(key);
+  const std::string v = canon(value);
+  bool removed = false;
+  if (auto kit = keys_.find(k); kit != keys_.end()) {
+    removed = kit->second.erase(v) > 0;
+  }
+  if (base_ != nullptr && !deleted_keys_.contains(k)) {
+    auto bit = base_->keys_.find(k);
+    if (bit != base_->keys_.end() && bit->second.contains(v)) {
+      if (deleted_values_[k].insert(v).second) removed = true;
+    }
+  }
+  return removed;
 }
 
 std::size_t Registry::remove_key(std::string_view key) {
   const std::string k = canon(key);
   const std::string prefix = k + "\\";
+  auto in_subtree = [&](const std::string& s) {
+    return s == k || s.compare(0, prefix.size(), prefix) == 0;
+  };
   std::size_t removed = 0;
-  for (auto it = keys_.begin(); it != keys_.end();) {
-    if (it->first == k ||
-        it->first.compare(0, prefix.size(), prefix) == 0) {
+  std::set<std::string> dropped;  // delta keys erased, to avoid double count
+  for (auto it = keys_.lower_bound(k);
+       it != keys_.end() && it->first.compare(0, k.size(), k) == 0;) {
+    if (in_subtree(it->first)) {
+      dropped.insert(it->first);
       it = keys_.erase(it);
       ++removed;
     } else {
       ++it;
     }
   }
+  if (base_ != nullptr) {
+    for (auto it = base_->keys_.lower_bound(k);
+         it != base_->keys_.end() && it->first.compare(0, k.size(), k) == 0;
+         ++it) {
+      if (!in_subtree(it->first)) continue;
+      deleted_values_.erase(it->first);  // key whiteout covers them
+      if (deleted_keys_.insert(it->first).second &&
+          !dropped.contains(it->first)) {
+        ++removed;
+      }
+    }
+  }
   return removed;
 }
 
 bool Registry::key_exists(std::string_view key) const {
-  return keys_.contains(canon(key));
+  const std::string k = canon(key);
+  if (keys_.contains(k)) return true;
+  if (deleted_keys_.contains(k)) return false;
+  return base_ != nullptr && base_->keys_.contains(k);
 }
 
 std::vector<std::string> Registry::values(std::string_view key) const {
+  const std::string k = canon(key);
   std::vector<std::string> out;
-  auto kit = keys_.find(canon(key));
-  if (kit == keys_.end()) return out;
-  out.reserve(kit->second.size());
-  for (const auto& [name, data] : kit->second) out.push_back(name);
+  auto kit = keys_.find(k);
+  const ValueMap* delta = kit == keys_.end() ? nullptr : &kit->second;
+  const ValueMap* base = nullptr;
+  if (base_ != nullptr && !deleted_keys_.contains(k)) {
+    auto bit = base_->keys_.find(k);
+    if (bit != base_->keys_.end()) base = &bit->second;
+  }
+  if (delta == nullptr && base == nullptr) return out;
+  const std::set<std::string>* whiteouts = nullptr;
+  if (auto dit = deleted_values_.find(k); dit != deleted_values_.end()) {
+    whiteouts = &dit->second;
+  }
+  merge_value_names(delta != nullptr ? *delta : kNoValues,
+                    base != nullptr ? *base : kNoValues, whiteouts,
+                    [&out](const std::string& name) { out.push_back(name); });
   return out;
 }
 
 std::vector<std::pair<std::string, std::string>> Registry::all_entries()
     const {
   std::vector<std::pair<std::string, std::string>> out;
-  for (const auto& [key, vals] : keys_) {
-    for (const auto& [name, data] : vals) out.emplace_back(key, name);
+  auto emit_key = [&](const std::string& key, const ValueMap* delta,
+                      const ValueMap* base) {
+    const std::set<std::string>* whiteouts = nullptr;
+    if (auto dit = deleted_values_.find(key); dit != deleted_values_.end()) {
+      whiteouts = &dit->second;
+    }
+    merge_value_names(
+        delta != nullptr ? *delta : kNoValues,
+        base != nullptr ? *base : kNoValues, whiteouts,
+        [&](const std::string& name) { out.emplace_back(key, name); });
+  };
+  auto di = keys_.begin();
+  auto bi = base_ != nullptr ? base_->keys_.begin()
+                             : decltype(keys_.begin()){};
+  const auto bend = base_ != nullptr ? base_->keys_.end()
+                                     : decltype(keys_.begin()){};
+  while (di != keys_.end() || bi != bend) {
+    if (bi == bend || (di != keys_.end() && di->first <= bi->first)) {
+      const ValueMap* base = nullptr;
+      if (bi != bend && bi->first == di->first) {
+        if (!deleted_keys_.contains(di->first)) base = &bi->second;
+        ++bi;
+      }
+      emit_key(di->first, &di->second, base);
+      ++di;
+    } else {
+      if (!deleted_keys_.contains(bi->first)) {
+        emit_key(bi->first, nullptr, &bi->second);
+      }
+      ++bi;
+    }
   }
   return out;
 }

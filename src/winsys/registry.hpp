@@ -5,10 +5,18 @@
 // values are string or dword. Malware persistence (Stuxnet's service keys,
 // Shamoon's TrkSvr service) and configuration (autorun policy) live here,
 // and the IOC extractor walks it.
+//
+// Like winsys::Volume, a Registry can be layered copy-on-write over an
+// immutable base hive (set_base): reads consult delta -> base per *value*
+// (setting one value under a base key does not hide the key's other base
+// values), remove_value/remove_key leave whiteouts, and a base-less Registry
+// behaves exactly as before the layering existed.
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <variant>
 #include <vector>
@@ -21,6 +29,11 @@ using RegValue = std::variant<std::string, std::uint32_t>;
 
 class Registry {
  public:
+  /// Layers this registry copy-on-write over an immutable base hive.
+  /// Single-level (the base must itself be base-less). nullptr detaches.
+  void set_base(std::shared_ptr<const Registry> base);
+  const Registry* base() const { return base_.get(); }
+
   /// Sets (creating intermediate keys implicitly) key\value = data.
   void set(std::string_view key, std::string_view value, RegValue data);
 
@@ -46,6 +59,10 @@ class Registry {
 
   // canonical key -> (canonical value name -> data)
   std::map<std::string, std::map<std::string, RegValue>> keys_;
+  std::shared_ptr<const Registry> base_;  // immutable template hive layer
+  std::set<std::string> deleted_keys_;    // whole-key whiteouts over base
+  // per-value whiteouts over base, canonical key -> value names
+  std::map<std::string, std::set<std::string>> deleted_values_;
 };
 
 }  // namespace cyd::winsys

@@ -240,6 +240,64 @@ TEST(BenchDiffTest, DroppedCounterIsAFloorViolation) {
   EXPECT_TRUE(result.floor_rows[0].has_baseline);
 }
 
+TEST(BenchDiffTest, CeilingAtOrBelowThresholdPasses) {
+  Options options;
+  options.ceilings["recall"] = 1.0;
+  // Exactly at the ceiling and below it both pass.
+  for (const double value : {1.0, 0.2}) {
+    const auto result =
+        compare(counter_dump(0.999), counter_dump(value), options);
+    EXPECT_TRUE(result.ok(false)) << "value " << value;
+    ASSERT_EQ(result.floor_rows.size(), 1u);
+    EXPECT_FALSE(result.floor_rows[0].violation);
+    EXPECT_TRUE(result.floor_rows[0].is_ceiling);
+  }
+}
+
+TEST(BenchDiffTest, CeilingAboveThresholdFails) {
+  // A memory-per-host style counter blowing past its maximum must fail even
+  // though no timing regressed.
+  Options options;
+  options.ceilings["recall"] = 1.0;
+  const auto result =
+      compare(counter_dump(0.999), counter_dump(1.5), options);
+  EXPECT_FALSE(result.ok(false));
+  EXPECT_EQ(result.floor_violation_count(), 1u);
+  ASSERT_EQ(result.floor_rows.size(), 1u);
+  EXPECT_TRUE(result.floor_rows[0].violation);
+  EXPECT_TRUE(result.floor_rows[0].is_ceiling);
+  EXPECT_NEAR(result.floor_rows[0].current, 1.5, 1e-6);
+}
+
+TEST(BenchDiffTest, DroppedCounterIsACeilingViolation) {
+  Options options;
+  options.ceilings["recall"] = 1.0;
+  const auto result = compare(counter_dump(0.999),
+                              counter_dump(0.0, /*with_counter=*/false),
+                              options);
+  EXPECT_FALSE(result.ok(false));
+  ASSERT_EQ(result.floor_rows.size(), 1u);
+  EXPECT_TRUE(result.floor_rows[0].violation);
+  EXPECT_FALSE(result.floor_rows[0].has_current);
+  EXPECT_TRUE(result.floor_rows[0].is_ceiling);
+}
+
+TEST(BenchDiffTest, FloorAndCeilingComposeOnOneCounter) {
+  // A band expressed as floor + ceiling: inside passes, outside fails on
+  // exactly one of the two rows.
+  Options options;
+  options.floors["recall"] = 0.9;
+  options.ceilings["recall"] = 1.0;
+  const auto inside = compare(counter_dump(0.999), counter_dump(0.95), options);
+  EXPECT_TRUE(inside.ok(false));
+  ASSERT_EQ(inside.floor_rows.size(), 2u);
+
+  const auto low = compare(counter_dump(0.999), counter_dump(0.5), options);
+  EXPECT_EQ(low.floor_violation_count(), 1u);
+  const auto high = compare(counter_dump(0.999), counter_dump(1.5), options);
+  EXPECT_EQ(high.floor_violation_count(), 1u);
+}
+
 TEST(BenchDiffTest, NoFloorsMeansNoFloorRows) {
   const auto result =
       compare(counter_dump(0.999), counter_dump(0.999), Options{});

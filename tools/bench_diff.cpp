@@ -332,43 +332,50 @@ Result compare(std::string_view baseline_json, std::string_view current_json,
   }
   for (const auto& [name, ns] : current) result.added.push_back(name);
 
-  // Floors: every current-run benchmark exporting the counter is held to
-  // the absolute minimum; a matched benchmark whose baseline exported the
-  // counter but which no longer does is a violation too (a silently
-  // dropped quality gate must not read as a pass).
-  for (const auto& [counter, floor] : options.floors) {
-    const auto baseline_vals = extract_counters(baseline_json, counter);
-    const auto current_vals = extract_counters(current_json, counter);
-    const auto current_names = extract_times(current_json, options.metric);
-    for (const auto& [name, value] : current_vals) {
-      FloorCheck check;
-      check.name = name;
-      check.counter = counter;
-      check.floor = floor;
-      check.current = value;
-      check.has_current = true;
-      if (const auto it = baseline_vals.find(name);
-          it != baseline_vals.end()) {
-        check.baseline = it->second;
-        check.has_baseline = true;
+  // Floors and ceilings: every current-run benchmark exporting the counter
+  // is held to the absolute limit; a matched benchmark whose baseline
+  // exported the counter but which no longer does is a violation too (a
+  // silently dropped quality gate must not read as a pass).
+  const auto check_limits = [&](const std::map<std::string, double>& limits,
+                                bool is_ceiling) {
+    for (const auto& [counter, limit] : limits) {
+      const auto baseline_vals = extract_counters(baseline_json, counter);
+      const auto current_vals = extract_counters(current_json, counter);
+      const auto current_names = extract_times(current_json, options.metric);
+      for (const auto& [name, value] : current_vals) {
+        FloorCheck check;
+        check.name = name;
+        check.counter = counter;
+        check.floor = limit;
+        check.current = value;
+        check.has_current = true;
+        check.is_ceiling = is_ceiling;
+        if (const auto it = baseline_vals.find(name);
+            it != baseline_vals.end()) {
+          check.baseline = it->second;
+          check.has_baseline = true;
+        }
+        check.violation = is_ceiling ? value > limit : value < limit;
+        result.floor_rows.push_back(std::move(check));
       }
-      check.violation = value < floor;
-      result.floor_rows.push_back(std::move(check));
+      for (const auto& [name, value] : baseline_vals) {
+        if (current_vals.contains(name)) continue;
+        if (!current_names.contains(name)) continue;  // whole benchmark gone:
+                                                      // already in `missing`
+        FloorCheck check;
+        check.name = name;
+        check.counter = counter;
+        check.floor = limit;
+        check.baseline = value;
+        check.has_baseline = true;
+        check.is_ceiling = is_ceiling;
+        check.violation = true;
+        result.floor_rows.push_back(std::move(check));
+      }
     }
-    for (const auto& [name, value] : baseline_vals) {
-      if (current_vals.contains(name)) continue;
-      if (!current_names.contains(name)) continue;  // whole benchmark gone:
-                                                    // already in `missing`
-      FloorCheck check;
-      check.name = name;
-      check.counter = counter;
-      check.floor = floor;
-      check.baseline = value;
-      check.has_baseline = true;
-      check.violation = true;
-      result.floor_rows.push_back(std::move(check));
-    }
-  }
+  };
+  check_limits(options.floors, /*is_ceiling=*/false);
+  check_limits(options.ceilings, /*is_ceiling=*/true);
   return result;
 }
 

@@ -8,12 +8,14 @@
 // case slowed down past its tolerance. Faster-than-baseline is never an
 // error (it is reported, so baselines can be refreshed when wins land).
 //
-// Timings get a tolerance *band*; quality counters get a hard *floor*.
-// --floor NAME=F checks every benchmark that exports counter NAME (the
-// attribution benches export `recall`) against the absolute minimum F:
+// Timings get a tolerance *band*; quality counters get a hard *floor* or
+// *ceiling*. --floor NAME=F checks every benchmark that exports counter NAME
+// (the attribution benches export `recall`) against the absolute minimum F:
 // current < F fails, as does a matched benchmark that dropped a counter its
-// baseline had. There is no "within x% of baseline" for a floor — a recall
-// regression is a correctness bug, not a slowdown.
+// baseline had. --ceiling NAME=C is the mirror image for counters where big
+// is bad (the epidemic benches export `heap_per_host`): current > C fails.
+// There is no "within x% of baseline" for either — a recall or memory
+// blow-up is a correctness bug, not a slowdown.
 
 #include <map>
 #include <string>
@@ -61,6 +63,10 @@ struct Options {
   /// in the current run exporting the counter must report at least the
   /// floor value. Absolute, not relative to the baseline.
   std::map<std::string, double> floors;
+  /// Hard ceilings on user counters (peak-memory-per-host style maximums):
+  /// every benchmark in the current run exporting the counter must report at
+  /// most the ceiling value. Absolute, not relative to the baseline.
+  std::map<std::string, double> ceilings;
 };
 
 /// One matched benchmark, times normalized to nanoseconds.
@@ -73,17 +79,19 @@ struct Comparison {
   bool regression = false;
 };
 
-/// One floor check: a (benchmark, counter) pair held against its minimum.
+/// One floor or ceiling check: a (benchmark, counter) pair held against its
+/// absolute limit.
 struct FloorCheck {
   std::string name;     // benchmark exporting the counter
-  std::string counter;  // counter name from Options::floors
-  double floor = 0.0;
-  double baseline = 0.0;  // context only; the floor is absolute
+  std::string counter;  // counter name from Options::floors / ceilings
+  double floor = 0.0;   // the limit (a maximum when is_ceiling)
+  double baseline = 0.0;  // context only; the limit is absolute
   double current = 0.0;
   bool has_baseline = false;
   bool has_current = false;
-  /// current < floor, or the counter vanished from a benchmark whose
-  /// baseline exported it.
+  bool is_ceiling = false;  // limit is a maximum, not a minimum
+  /// current < floor (or > ceiling), or the counter vanished from a
+  /// benchmark whose baseline exported it.
   bool violation = false;
 };
 
@@ -91,7 +99,7 @@ struct Result {
   std::vector<Comparison> rows;        // matched, in baseline order
   std::vector<std::string> missing;    // in baseline, absent from current
   std::vector<std::string> added;      // in current, absent from baseline
-  std::vector<FloorCheck> floor_rows;  // one per (benchmark, floor) pair
+  std::vector<FloorCheck> floor_rows;  // one per (benchmark, limit) pair
 
   std::size_t regression_count() const;
   std::size_t floor_violation_count() const;

@@ -1,13 +1,13 @@
 // bench_diff CLI — see bench_diff.hpp for the comparison rules.
 //
 // usage: bench_diff [--tolerance F] [--override NAME=F ...]
-//                   [--floor COUNTER=F ...]
+//                   [--floor COUNTER=F ...] [--ceiling COUNTER=C ...]
 //                   [--metric real_time|cpu_time] [--allow-missing]
 //                   <baseline.json> <current.json>
 //
-// exit 0: no regressions; exit 1: regressions or broken counter floors (or
-// baselines missing from the current run, unless --allow-missing); exit 2:
-// usage / IO / parse errors.
+// exit 0: no regressions; exit 1: regressions or broken counter floors /
+// ceilings (or baselines missing from the current run, unless
+// --allow-missing); exit 2: usage / IO / parse errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,7 +23,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: bench_diff [--tolerance F] [--override NAME=F ...]\n"
-               "                  [--floor COUNTER=F ...]\n"
+               "                  [--floor COUNTER=F ...] "
+               "[--ceiling COUNTER=C ...]\n"
                "                  [--metric real_time|cpu_time] "
                "[--allow-missing]\n"
                "                  <baseline.json> <current.json>\n");
@@ -56,12 +57,13 @@ int main(int argc, char** argv) {
       if (eq == std::string::npos || eq == 0) return usage();
       options.overrides[spec.substr(0, eq)] =
           std::strtod(spec.c_str() + eq + 1, nullptr);
-    } else if (arg == "--floor") {
+    } else if (arg == "--floor" || arg == "--ceiling") {
       if (++i >= argc) return usage();
       const std::string spec = argv[i];
       const auto eq = spec.rfind('=');
       if (eq == std::string::npos || eq == 0) return usage();
-      options.floors[spec.substr(0, eq)] =
+      auto& limits = arg == "--floor" ? options.floors : options.ceilings;
+      limits[spec.substr(0, eq)] =
           std::strtod(spec.c_str() + eq + 1, nullptr);
     } else if (arg == "--metric") {
       if (++i >= argc) return usage();
@@ -113,7 +115,7 @@ int main(int argc, char** argv) {
   }
   if (!result.floor_rows.empty()) {
     std::printf("\n%-44s %-20s %10s %10s  %s\n", "benchmark", "counter",
-                "floor", "current", "verdict");
+                "limit", "current", "verdict");
     for (const auto& row : result.floor_rows) {
       char current[32];
       if (row.has_current) {
@@ -121,9 +123,12 @@ int main(int argc, char** argv) {
       } else {
         std::snprintf(current, sizeof(current), "%s", "absent");
       }
-      std::printf("%-44s %-20s %10.4f %10s  %s\n", row.name.c_str(),
-                  row.counter.c_str(), row.floor, current,
-                  row.violation ? "BELOW FLOOR" : "ok");
+      std::printf("%-44s %-20s %c%9.4f %10s  %s\n", row.name.c_str(),
+                  row.counter.c_str(), row.is_ceiling ? '<' : '>', row.floor,
+                  current,
+                  !row.violation   ? "ok"
+                  : row.is_ceiling ? "ABOVE CEILING"
+                                   : "BELOW FLOOR");
     }
   }
 
@@ -143,13 +148,14 @@ int main(int argc, char** argv) {
     }
   }
   if (result.floor_violation_count() > 0) {
-    std::fprintf(stderr, " %zu counter floor violation(s):",
+    std::fprintf(stderr, " %zu counter limit violation(s):",
                  result.floor_violation_count());
     for (const auto& row : result.floor_rows) {
       if (!row.violation) continue;
       if (row.has_current) {
-        std::fprintf(stderr, " %s %s=%.4f < %.4f", row.name.c_str(),
-                     row.counter.c_str(), row.current, row.floor);
+        std::fprintf(stderr, " %s %s=%.4f %s %.4f", row.name.c_str(),
+                     row.counter.c_str(), row.current,
+                     row.is_ceiling ? ">" : "<", row.floor);
       } else {
         std::fprintf(stderr, " %s no longer exports %s", row.name.c_str(),
                      row.counter.c_str());
