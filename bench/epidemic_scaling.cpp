@@ -320,11 +320,14 @@ EpiOutcome epidemic_run(const EpiConfig& cfg) {
 
   // Hundreds of single-archetype office sites; the first eight double as the
   // regional WAN hubs (fully meshed), every other site hangs off its region.
+  // bench/sharded_des_scaling drives this same topology through
+  // sim::ShardedScheduler — the site layer built here is the shard map there
+  // (World::shard_plan), and the WAN latencies are its lookahead.
   std::vector<std::string> site_names(cfg.sites);
   std::vector<core::FleetHandle> fleets(cfg.sites);
   outcome.build_ms = time_ms([&] {
     for (std::size_t s = 0; s < cfg.sites; ++s) {
-      char name[16];
+      char name[24];  // org + zero-padded index, sized for %04zu's worst case
       std::snprintf(name, sizeof(name), "org%04zu", s);
       site_names[s] = name;
       fleets[s] = world.add_fleet(winsys::HostArchetype::kOfficePc,

@@ -252,11 +252,20 @@ sim::Duration CncServer::purge_retention() const {
 }
 
 void CncServer::start_purge_task(sim::Duration period) {
+  // Cancel-then-rearm: a second start (operator re-runs the install script,
+  // a seized server is restaged) must not leave two concurrent purge series
+  // double-deleting payloads and skewing the purge stats — the old series
+  // ends before the new one is armed.
+  purge_handle_.cancel();
   purge_handle_ =
       sim_.every(period, [this] { purge_retrieved(purge_retention()); });
 }
 
-void CncServer::stop_purge_task() { purge_handle_.cancel(); }
+void CncServer::stop_purge_task() {
+  // Safe when the task was never started: a default handle's cancel() is a
+  // no-op, and a handle whose series already ended is inert.
+  purge_handle_.cancel();
+}
 
 void CncServer::run_log_wiper() {
   // chkconfig off, shred the logs, remove old DB rows, rm LogWiper.sh.

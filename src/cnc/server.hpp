@@ -85,8 +85,13 @@ class CncServer {
   /// 30); falls back to 30 minutes when the row is missing or unparseable.
   sim::Duration purge_retention() const;
   /// Starts the periodic purge cycle; each tick deletes retrieved entries
-  /// older than purge_retention().
+  /// older than purge_retention(). Idempotent: calling it again cancels the
+  /// running series before arming the new one, so there is never more than
+  /// one purge cycle ticking (a restage must not double-delete or skew the
+  /// purge stats).
   void start_purge_task(sim::Duration period = 30 * sim::kMinute);
+  /// Stops the purge cycle; a no-op when it was never started (or already
+  /// stopped).
   void stop_purge_task();
 
   /// LogWiper.sh: stops logging, shreds the access log, deletes itself.

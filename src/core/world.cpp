@@ -156,4 +156,18 @@ std::size_t World::count_infected(const std::string& family) const {
   return n;
 }
 
+sim::ShardPlan World::shard_plan() const {
+  sim::ShardPlan plan;
+  plan.labels = network_.site_names();  // name order: stable shard indices
+  std::map<std::string, std::uint32_t> index;
+  for (std::size_t i = 0; i < plan.labels.size(); ++i) {
+    index.emplace(plan.labels[i], static_cast<std::uint32_t>(i));
+  }
+  for (const auto& edge : network_.site_edges()) {
+    plan.channels.push_back(
+        sim::ShardChannel{index.at(edge.from), index.at(edge.to), edge.latency});
+  }
+  return plan;
+}
+
 }  // namespace cyd::core

@@ -16,6 +16,7 @@
 #include "pki/licensing.hpp"
 #include "scada/plc.hpp"
 #include "scada/step7.hpp"
+#include "sim/sharded_scheduler.hpp"
 #include "sim/simulation.hpp"
 #include "winsys/host.hpp"
 #include "winsys/host_image.hpp"
@@ -100,6 +101,15 @@ class World {
   // --- fleet-wide helpers ---
   std::size_t count_unbootable() const;
   std::size_t count_infected(const std::string& family) const;
+
+  /// Shard topology for sim::ShardedScheduler, derived from the network's
+  /// site layer: one shard per site in name order (the map's iteration
+  /// order, so the labels — and with them the shard indices and the trace
+  /// checksum — are stable run to run), one channel per directed WAN edge
+  /// carrying the link latency. Air-gapped sites simply have no channels;
+  /// model their USB couriers as extra ShardChannels on the returned plan
+  /// before constructing the scheduler.
+  sim::ShardPlan shard_plan() const;
 
  private:
   sim::Simulation sim_;

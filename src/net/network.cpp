@@ -47,13 +47,17 @@ std::vector<std::string> Network::subnets() const {
   return out;
 }
 
-Site& Network::add_site(const std::string& name) {
+Site& Network::ensure_site(const std::string& name) {
   auto [it, inserted] = sites_.try_emplace(name);
   if (inserted) {
     it->second.name = name;
     route_cache_.clear();
   }
   return it->second;
+}
+
+const Site& Network::add_site(const std::string& name) {
+  return ensure_site(name);
 }
 
 const Site* Network::find_site(const std::string& name) const {
@@ -77,7 +81,7 @@ void Network::add_lan(const std::string& site, const std::string& subnet) {
     }
     return;
   }
-  add_site(site).lans.push_back(subnet);
+  ensure_site(site).lans.push_back(subnet);
 }
 
 const Site* Network::site_of_subnet(const std::string& subnet) const {
@@ -88,9 +92,22 @@ const Site* Network::site_of_subnet(const std::string& subnet) const {
 void Network::link_sites(const std::string& a, const std::string& b,
                          sim::Duration latency) {
   if (a == b) return;
-  add_site(a).links.push_back(SiteLink{b, latency});
-  add_site(b).links.push_back(SiteLink{a, latency});
+  ensure_site(a).links.push_back(SiteLink{b, latency});
+  ensure_site(b).links.push_back(SiteLink{a, latency});
+  // ensure_site only clears the memo for *new* sites; linking two existing
+  // sites must drop it too, or routes computed before this link keep being
+  // served after it (the stale-cache path under regression test).
   route_cache_.clear();
+}
+
+std::vector<Network::SiteEdge> Network::site_edges() const {
+  std::vector<SiteEdge> edges;
+  for (const auto& [name, site] : sites_) {
+    for (const SiteLink& link : site.links) {
+      edges.push_back(SiteEdge{name, link.to, link.latency});
+    }
+  }
+  return edges;
 }
 
 Route Network::route_between(const std::string& from_site,

@@ -74,8 +74,11 @@ class Network {
   std::vector<std::string> subnets() const;
 
   // --- hierarchical topology (sites over LANs) ---
-  /// Get-or-create a site by name.
-  Site& add_site(const std::string& name);
+  /// Get-or-create a site by name. Returns a const view: all topology
+  /// mutation goes through add_lan()/link_sites(), which invalidate the
+  /// route memo — a mutable Site& would let callers grow `links` behind the
+  /// cache's back and serve stale routes forever.
+  const Site& add_site(const std::string& name);
   const Site* find_site(const std::string& name) const;
   std::vector<std::string> site_names() const;
   /// Registers `subnet` as one of `site`'s LANs (creating the site as
@@ -87,9 +90,22 @@ class Network {
   void link_sites(const std::string& a, const std::string& b,
                   sim::Duration latency);
   /// Deterministic shortest-latency WAN route (ties broken by site name).
-  /// Memoized per source site; the cache resets when topology changes.
+  /// Memoized per source site; every topology mutation (new site, new LAN,
+  /// new WAN link) resets the cache, so routes computed before the mutation
+  /// are never served after it.
   Route route_between(const std::string& from_site,
                       const std::string& to_site) const;
+
+  /// Every directed WAN edge in site-name order (each bidirectional
+  /// link_sites() call contributes both directions). This is the shard
+  /// topology: core::World::shard_plan() turns these into cross-shard
+  /// channels whose minimum latency is the conservative lookahead.
+  struct SiteEdge {
+    std::string from;
+    std::string to;
+    sim::Duration latency = 0;
+  };
+  std::vector<SiteEdge> site_edges() const;
 
   // --- internet ---
   /// Registers an internet service under `domain`. Re-registering replaces
@@ -117,6 +133,10 @@ class Network {
   std::map<std::string, HttpHandler> internet_;
   std::map<std::string, std::size_t> domain_hits_;
   std::vector<Stack*> empty_;
+
+  /// Mutable get-or-create used by the topology mutators; clears the route
+  /// memo on insert so pre-existing "unreachable" answers are recomputed.
+  Site& ensure_site(const std::string& name);
 
   std::map<std::string, Site> sites_;
   std::map<std::string, std::string> subnet_sites_;  // subnet -> site name

@@ -26,6 +26,7 @@ std::uint32_t EventQueue::allocate_slot() {
 
 void EventQueue::release_slot(Slot& s, std::uint32_t index) {
   s.period = 0;
+  s.tag = 0;
   s.cancelled = false;
   s.heap_index = kNullIndex;
   s.next_free = free_head_;
@@ -43,7 +44,10 @@ void EventQueue::push_key(TimePoint time, std::uint32_t slot) {
   if (next_seq_ >> 40u) {
     throw std::length_error("EventQueue: event sequence space exhausted");
   }
-  const std::uint64_t order = (next_seq_++ << kSlotBits) | slot;
+  push_order(time, (next_seq_++ << kSlotBits) | slot);
+}
+
+void EventQueue::push_order(TimePoint time, std::uint64_t order) {
   heap_.emplace_back();  // opens a hole at the tail for sift_up to fill
   sift_up(heap_.size() - 1, HeapKey{time, order});
   ++live_;
@@ -131,6 +135,19 @@ EventHandle EventQueue::schedule_at(TimePoint t, EventFn fn) {
   return EventHandle(this, index, s.generation);
 }
 
+EventHandle EventQueue::schedule_keyed(TimePoint t, std::uint64_t key,
+                                       std::uint32_t tag, EventFn fn) {
+  if (key >> 40u) {
+    throw std::length_error("EventQueue: keyed order past the 2^40 ceiling");
+  }
+  const std::uint32_t index = allocate_slot();
+  Slot& s = slot(index);
+  s.fn = std::move(fn);
+  s.tag = tag;
+  push_order(std::max(t, now_), (key << kSlotBits) | index);
+  return EventHandle(this, index, s.generation);
+}
+
 EventHandle EventQueue::schedule_every(Duration period, EventFn fn,
                                        TimePoint first) {
   if (period <= 0) period = 1;
@@ -186,6 +203,11 @@ std::size_t EventQueue::step_front() {
   now_ = front.time;
   --live_;
   ++stats_.executed;
+  if (observer_ != nullptr) {
+    // Before the closure, so an observer that tracks "which shard is
+    // executing" has set its context by the time user code runs.
+    observer_(observer_ctx_, front.time, front.order >> kSlotBits, s.tag);
+  }
   if (s.period > 0) {
     // Chunk storage is pointer-stable, so the closure fires in place even if
     // the callback grows the slab — no per-firing relocation. The spent key
@@ -246,6 +268,10 @@ bool EventQueue::prune_cancelled() {
     free_slot(index);
   }
   return false;
+}
+
+TimePoint EventQueue::next_time() {
+  return prune_cancelled() ? heap_.front().time : kNoEventTime;
 }
 
 std::size_t EventQueue::run_until(TimePoint deadline) {

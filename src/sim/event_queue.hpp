@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <type_traits>
 #include <vector>
@@ -73,6 +74,21 @@ class EventQueue {
   /// current front of the queue (time does not go backwards).
   EventHandle schedule_at(TimePoint t, EventFn fn);
 
+  /// Externally-keyed scheduling, for callers that own the tie-breaking rule
+  /// instead of delegating it to insertion order. Same-time events fire in
+  /// ascending `key` order regardless of the order they were inserted, which
+  /// is what lets sim::ShardedScheduler prove that a sharded run executes
+  /// each shard's events in exactly the single-queue merge order: the key —
+  /// (origin shard, origin sequence) packed into 40 bits — is a property of
+  /// the event, not of the queue it happens to sit in. `tag` is an opaque
+  /// word stored with the event and handed back to the execute observer
+  /// (the sharded scheduler stores the executing shard there). Keys must be
+  /// unique among pending same-time events; a duplicate falls back to slot
+  /// order, which tracks allocation history rather than the caller's merge
+  /// rule. Keys are capped at 2^40 like the internal sequence space.
+  EventHandle schedule_keyed(TimePoint t, std::uint64_t key, std::uint32_t tag,
+                             EventFn fn);
+
   /// Periodic scheduling: `fn` first runs at `first` (clamped to now), then
   /// every `period` (clamped to 1ms) until the handle is cancelled. The
   /// whole series reuses one slot and one closure — a steady-state firing of
@@ -89,6 +105,29 @@ class EventQueue {
   bool empty() const { return live_ == 0; }
   /// Number of live (non-cancelled) scheduled events.
   std::size_t pending() const { return live_; }
+
+  /// Sentinel returned by next_time() when no runnable event remains.
+  static constexpr TimePoint kNoEventTime = std::numeric_limits<TimePoint>::max();
+
+  /// Due time of the next runnable event, or kNoEventTime for an empty (or
+  /// all-cancelled) queue. Non-const because it prunes cancelled tombstones
+  /// off the front — the conservative shard synchronizer calls this once per
+  /// round per shard to compute the global horizon, and a dead front entry
+  /// must not drag the horizon backwards.
+  TimePoint next_time();
+
+  /// Per-executed-event hook, called immediately *before* each closure runs
+  /// with (ctx, event time, order key, tag). For keyed events the key is the
+  /// caller's 40-bit key; for internally-sequenced events it is the internal
+  /// sequence number. A raw function pointer, not std::function: this sits
+  /// on the hot path and only the sharded scheduler's trace-checksum
+  /// accumulators use it. Pass nullptr to detach.
+  using ExecuteObserver = void (*)(void* ctx, TimePoint t, std::uint64_t key,
+                                   std::uint32_t tag);
+  void set_execute_observer(ExecuteObserver observer, void* ctx) {
+    observer_ = observer;
+    observer_ctx_ = ctx;
+  }
 
   /// Runs the next event; returns false when no runnable event remains.
   bool step();
@@ -155,6 +194,7 @@ class EventQueue {
     std::uint32_t generation = 0;
     std::uint32_t heap_index = kNullIndex;  // kNullIndex while firing / free
     std::uint32_t next_free = kNullIndex;
+    std::uint32_t tag = 0;  // opaque caller word, echoed to the observer
     bool cancelled = false;
     EventFn fn;
   };
@@ -177,6 +217,7 @@ class EventQueue {
   void release_slot(Slot& s, std::uint32_t index);  // no generation bump
   void free_slot(std::uint32_t index);
   void push_key(TimePoint time, std::uint32_t slot);
+  void push_order(TimePoint time, std::uint64_t order);
 
   void sift_up(std::size_t index, HeapKey key);
   void sift_down(std::size_t index, HeapKey key);
@@ -204,6 +245,9 @@ class EventQueue {
   bool handle_pending(const EventHandle& h) const {
     return handle_live(h) && !slot(h.slot_).cancelled;
   }
+
+  ExecuteObserver observer_ = nullptr;
+  void* observer_ctx_ = nullptr;
 
   std::vector<HeapKey> heap_;
   std::vector<std::unique_ptr<Slot[]>> chunks_;

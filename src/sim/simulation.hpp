@@ -4,6 +4,15 @@
 // Every other subsystem (winsys hosts, the network, the C&C platform, the
 // SCADA cell) holds a reference to one Simulation, giving the whole scenario
 // a single timeline and a single audit trail.
+//
+// Thread-safety: Simulation is main-thread-only, including under the
+// site-sharded scheduler (sharded_scheduler.hpp). Its queue, RNG stream and
+// TraceLog are shared singletons with no internal locking — events running
+// on shard workers must not call after()/at()/every(), draw from rng(), or
+// log() here. Shard-confined work goes through ShardedScheduler::schedule/
+// send and touches only its own shard's state; anything that needs these
+// singletons belongs in main-thread code between run_until() windows. See
+// DESIGN.md §9 for the full shard-safe vs main-thread-only API split.
 
 #include <cstdint>
 #include <string>

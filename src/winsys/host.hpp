@@ -249,7 +249,13 @@ class Host {
   /// lower it so 10⁶ hosts don't drown in log strings.
   void log_event(const std::string& source, const std::string& message);
   const std::vector<EventLogEntry>& event_log() const { return event_log_; }
-  void clear_event_log() { event_log_.clear(); }
+  /// Empties the log and zeroes the drop counter: a clear starts a fresh
+  /// forensic window, so a stale drop count from before the wipe must not
+  /// make post-clear timelines look truncated when they are complete.
+  void clear_event_log() {
+    event_log_.clear();
+    event_log_dropped_ = 0;
+  }
   void set_event_log_cap(std::size_t cap) { event_log_cap_ = cap; }
   std::size_t event_log_cap() const { return event_log_cap_; }
   /// Entries discarded so far by the cap.

@@ -233,6 +233,33 @@ TEST_F(CncServerTest, PurgeTaskHonorsConfiguredRetention) {
   EXPECT_TRUE(server_.entries().empty());
 }
 
+TEST_F(CncServerTest, RestartingPurgeTaskKeepsASingleSeries) {
+  server_.start_purge_task(30 * sim::kMinute);
+  const auto pending_before = simulation_.queue().pending();
+  // Restage: the second start must cancel the 30-minute series before
+  // arming the 10-minute one, not stack a second concurrent cycle.
+  server_.start_purge_task(10 * sim::kMinute);
+  EXPECT_EQ(simulation_.queue().pending(), pending_before);
+  const auto executed_before = simulation_.queue().stats().executed;
+  simulation_.run_for(60 * sim::kMinute);
+  // Exactly the 10-minute ticks (6 in an hour); a leaked 30-minute series
+  // would add two more.
+  EXPECT_EQ(simulation_.queue().stats().executed - executed_before, 6u);
+}
+
+TEST_F(CncServerTest, StopPurgeTaskSafeWhenNeverStarted) {
+  server_.stop_purge_task();  // never started: harmless no-op
+  server_.start_purge_task(10 * sim::kMinute);
+  server_.handle(add_entry("a", "1", "data1"));
+  center_.collect();
+  server_.stop_purge_task();
+  server_.stop_purge_task();  // double-stop: also harmless
+  simulation_.run_for(2 * sim::kHour);
+  // The series is dead: the long-retrieved entry survives untouched.
+  ASSERT_EQ(server_.entries().size(), 1u);
+  EXPECT_EQ(simulation_.queue().pending(), 0u);
+}
+
 TEST_F(CncServerTest, PurgeMinutesSettingRoundTrips) {
   EXPECT_EQ(server_.purge_retention(), 30 * sim::kMinute);
   auto& settings = server_.db().table("settings");

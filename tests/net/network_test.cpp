@@ -1,0 +1,115 @@
+// Network site topology and the route_between memo. The memo is only
+// correct if every topology mutation invalidates it: the regression tests
+// here mutate the WAN graph *after* routes have been computed and cached,
+// which is exactly how epidemic scenarios grow worlds (sites come online as
+// the campaign script runs, not all before the first routing query).
+
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+
+#include "sim/simulation.hpp"
+
+namespace cyd::net {
+namespace {
+
+class NetworkTopologyTest : public ::testing::Test {
+ protected:
+  sim::Simulation simulation_;
+  Network network_{simulation_};
+};
+
+TEST_F(NetworkTopologyTest, RouteBasics) {
+  network_.link_sites("hq", "branch", sim::minutes(5));
+  const Route direct = network_.route_between("hq", "branch");
+  EXPECT_TRUE(direct.reachable);
+  EXPECT_EQ(direct.latency, sim::minutes(5));
+  EXPECT_EQ(direct.wan_hops, 1);
+
+  const Route self = network_.route_between("hq", "hq");
+  EXPECT_TRUE(self.reachable);
+  EXPECT_EQ(self.latency, 0);
+  EXPECT_EQ(self.wan_hops, 0);
+
+  EXPECT_FALSE(network_.route_between("hq", "nowhere").reachable);
+  EXPECT_FALSE(network_.route_between("nowhere", "hq").reachable);
+}
+
+TEST_F(NetworkTopologyTest, LinkAddedAfterRoutingInvalidatesMemo) {
+  network_.link_sites("a", "b", sim::minutes(10));
+  ASSERT_EQ(network_.route_between("a", "b").latency, sim::minutes(10));
+
+  // Both endpoints already exist, so this mutation takes the non-insert
+  // path through ensure_site — the route memo must still be dropped.
+  network_.link_sites("a", "c", sim::minutes(2));
+  network_.link_sites("c", "b", sim::minutes(3));
+  const Route rerouted = network_.route_between("a", "b");
+  EXPECT_EQ(rerouted.latency, sim::minutes(5));  // a -> c -> b shortcut
+  EXPECT_EQ(rerouted.wan_hops, 2);
+}
+
+TEST_F(NetworkTopologyTest, SiteAddedAfterRoutingBecomesReachable) {
+  network_.link_sites("a", "b", sim::minutes(1));
+  ASSERT_FALSE(network_.route_between("a", "late").reachable);  // memo filled
+
+  network_.link_sites("b", "late", sim::minutes(4));
+  const Route late = network_.route_between("a", "late");
+  EXPECT_TRUE(late.reachable);
+  EXPECT_EQ(late.latency, sim::minutes(5));
+  EXPECT_EQ(late.wan_hops, 2);
+}
+
+TEST_F(NetworkTopologyTest, LanRegisteredAfterRoutingKeepsRoutesFresh) {
+  network_.link_sites("a", "b", sim::minutes(1));
+  ASSERT_FALSE(network_.route_between("a", "plant").reachable);
+
+  network_.add_lan("plant", "plant-lan0");  // creates the site
+  network_.link_sites("b", "plant", sim::minutes(2));
+  EXPECT_TRUE(network_.route_between("a", "plant").reachable);
+  ASSERT_NE(network_.site_of_subnet("plant-lan0"), nullptr);
+  EXPECT_EQ(network_.site_of_subnet("plant-lan0")->name, "plant");
+}
+
+TEST_F(NetworkTopologyTest, AddSiteReturnsConstView) {
+  // Compile-time half of the fix: callers can no longer grow site.links
+  // behind the memo's back.
+  static_assert(std::is_same_v<decltype(network_.add_site("x")), const Site&>);
+  const Site& site = network_.add_site("x");
+  EXPECT_EQ(site.name, "x");
+  EXPECT_TRUE(site.links.empty());
+}
+
+TEST_F(NetworkTopologyTest, EqualLatencyTiesBreakBySiteName) {
+  // Two equal-cost two-hop paths a->m1->z and a->m2->z: the reported route
+  // must be identical run to run (frontier is ordered by (latency, name)).
+  network_.link_sites("a", "m2", sim::minutes(1));
+  network_.link_sites("m2", "z", sim::minutes(1));
+  network_.link_sites("a", "m1", sim::minutes(1));
+  network_.link_sites("m1", "z", sim::minutes(1));
+  const Route first = network_.route_between("a", "z");
+  EXPECT_EQ(first.latency, sim::minutes(2));
+  EXPECT_EQ(first.wan_hops, 2);
+}
+
+TEST_F(NetworkTopologyTest, SiteEdgesListsBothDirectionsInNameOrder) {
+  network_.link_sites("beta", "alpha", sim::minutes(3));
+  network_.link_sites("alpha", "gamma", sim::minutes(7));
+  const auto edges = network_.site_edges();
+  ASSERT_EQ(edges.size(), 4u);
+  // Sites iterate in name order; per-site links in registration order.
+  EXPECT_EQ(edges[0].from, "alpha");
+  EXPECT_EQ(edges[0].to, "beta");
+  EXPECT_EQ(edges[0].latency, sim::minutes(3));
+  EXPECT_EQ(edges[1].from, "alpha");
+  EXPECT_EQ(edges[1].to, "gamma");
+  EXPECT_EQ(edges[2].from, "beta");
+  EXPECT_EQ(edges[2].to, "alpha");
+  EXPECT_EQ(edges[3].from, "gamma");
+  EXPECT_EQ(edges[3].to, "alpha");
+}
+
+}  // namespace
+}  // namespace cyd::net

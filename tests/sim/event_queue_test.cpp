@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -349,6 +350,94 @@ TEST(SimulationTest, RunAllLogsTruncationWarning) {
         EXPECT_EQ(warning.category(), TraceCategory::kSim);
         EXPECT_NE(warning.detail().find("25"), std::string_view::npos);
       });
+}
+
+// --- Keyed scheduling + execute observer (the ShardedScheduler substrate) ---
+
+TEST(EventQueueKeyedTest, SameTimeEventsFireInKeyOrderNotInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_keyed(100, /*key=*/5, 0, [&] { order.push_back(5); });
+  q.schedule_keyed(100, /*key=*/1, 0, [&] { order.push_back(1); });
+  q.schedule_keyed(100, /*key=*/3, 0, [&] { order.push_back(3); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(EventQueueKeyedTest, TimeStillDominatesKey) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_keyed(200, /*key=*/0, 0, [&] { order.push_back(2); });
+  q.schedule_keyed(100, /*key=*/999, 0, [&] { order.push_back(1); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueKeyedTest, ObserverSeesTimeKeyAndTag) {
+  EventQueue q;
+  struct Seen {
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint32_t> tags;
+    std::vector<TimePoint> times;
+  } seen;
+  q.set_execute_observer(
+      [](void* ctx, TimePoint t, std::uint64_t key, std::uint32_t tag) {
+        auto* s = static_cast<Seen*>(ctx);
+        s->times.push_back(t);
+        s->keys.push_back(key);
+        s->tags.push_back(tag);
+      },
+      &seen);
+  q.schedule_keyed(50, /*key=*/7, /*tag=*/2, [] {});
+  q.schedule_keyed(50, /*key=*/4, /*tag=*/9, [] {});
+  q.run_all();
+  EXPECT_EQ(seen.times, (std::vector<TimePoint>{50, 50}));
+  EXPECT_EQ(seen.keys, (std::vector<std::uint64_t>{4, 7}));
+  EXPECT_EQ(seen.tags, (std::vector<std::uint32_t>{9, 2}));
+}
+
+TEST(EventQueueKeyedTest, ObserverSeesInternalSequenceForPlainEvents) {
+  EventQueue q;
+  std::vector<std::uint64_t> keys;
+  q.set_execute_observer(
+      [](void* ctx, TimePoint, std::uint64_t key, std::uint32_t) {
+        static_cast<std::vector<std::uint64_t>*>(ctx)->push_back(key);
+      },
+      &keys);
+  q.schedule_at(10, [] {});
+  q.schedule_at(10, [] {});
+  q.run_all();
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(EventQueueKeyedTest, KeyedEventsCancelLikeAnyOther) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.schedule_keyed(100, /*key=*/1, 0, [&] { ++fired; });
+  q.schedule_keyed(100, /*key=*/2, 0, [&] { ++fired; });
+  h.cancel();
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueKeyedTest, KeyCeilingEnforced) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_keyed(0, std::uint64_t{1} << 40, 0, [] {}),
+               std::length_error);
+}
+
+TEST(EventQueueKeyedTest, NextTimeReportsFrontAndPrunesTombstones) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), EventQueue::kNoEventTime);
+  auto early = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  EXPECT_EQ(q.next_time(), 10);
+  early.cancel();
+  // The cancelled front must not drag a shard's horizon backwards.
+  EXPECT_EQ(q.next_time(), 20);
+  q.run_all();
+  EXPECT_EQ(q.next_time(), EventQueue::kNoEventTime);
 }
 
 TEST(SimulationTest, LogStampsCurrentTime) {

@@ -375,6 +375,34 @@ TEST_F(HostTest, EventLogAccumulates) {
   EXPECT_TRUE(host_.event_log().empty());
 }
 
+TEST_F(HostTest, EventLogCapDropsOlderHalfAndCountsDrops) {
+  host_.set_event_log_cap(8);
+  for (int i = 0; i < 9; ++i) {
+    host_.log_event("gen", "entry " + std::to_string(i));
+  }
+  // Hitting the cap discards the older half; the newest entries survive.
+  EXPECT_EQ(host_.event_log_dropped(), 5u);
+  ASSERT_FALSE(host_.event_log().empty());
+  EXPECT_EQ(host_.event_log().front().message, "entry 5");
+  EXPECT_EQ(host_.event_log().back().message, "entry 8");
+}
+
+TEST_F(HostTest, ClearEventLogResetsDropCounter) {
+  host_.set_event_log_cap(8);
+  for (int i = 0; i < 9; ++i) {
+    host_.log_event("gen", "entry " + std::to_string(i));
+  }
+  ASSERT_GT(host_.event_log_dropped(), 0u);
+  host_.clear_event_log();
+  // A clear opens a fresh forensic window: no entries, no phantom drops
+  // from before the wipe.
+  EXPECT_TRUE(host_.event_log().empty());
+  EXPECT_EQ(host_.event_log_dropped(), 0u);
+  host_.log_event("av", "post-clear entry");
+  EXPECT_EQ(host_.event_log().size(), 1u);
+  EXPECT_EQ(host_.event_log_dropped(), 0u);
+}
+
 TEST_F(HostTest, ComponentAttachAndRetrieve) {
   struct Marker : HostComponent {
     int value = 7;
