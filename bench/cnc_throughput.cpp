@@ -1,0 +1,792 @@
+// CNC-THROUGHPUT — the C&C request pipeline vs the retained seed server.
+//
+// The seed CncServer paid for every beacon with an O(clients) select_where
+// scan over string-map rows, two format_time allocations, stoull/to_string
+// round-trips, and an owned-copy decode of the request body. This bench
+// retains that hot path verbatim (SeedServer below, simulation-free so the
+// comparison is handler-vs-handler) and race-checks cnc::RequestEngine
+// against it:
+//
+//  (1) Identity, fatally asserted: over identical beacon streams the seed
+//      path and the pipeline produce bit-identical response chains and
+//      state checksums — the speedup is a refactor, not a behavior change.
+//      In the sharded storm the merged checksums must also match at every
+//      worker count (single-queue reference, 1, 2, hw workers).
+//  (2) Single-thread throughput: >=5x over the seed path, fatally asserted;
+//      `beacons_per_sec` exported as a bench_diff floor.
+//  (3) Storm scaling: one engine per site shard on sim::ShardedScheduler,
+//      >=2x over the single-queue run on 4+ cores (fatal when the cores
+//      exist); `cnc_storm_speedup_4core` exported on 4+-core machines.
+//  (4) Storm + purge tail latency: per-beacon p50/p99/max with the pickup
+//      and purge cadence running; the O(pending) contract is gated
+//      structurally (total purge scan work <= purged + ticks, fatal) and
+//      `p99_handle_ns` exported as a bench_diff ceiling.
+
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cnc/crypto.hpp"
+#include "cnc/database.hpp"
+#include "cnc/pipeline.hpp"
+#include "cnc/wire.hpp"
+#include "sim/rng.hpp"
+#include "sim/sharded_scheduler.hpp"
+#include "sim/sweep.hpp"
+#include "sim/time.hpp"
+
+using namespace cyd;
+
+namespace {
+
+double time_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+[[noreturn]] void fatal(const char* what) {
+  std::printf("\nFATAL: %s\n", what);
+  std::exit(1);
+}
+
+// ---------------------------------------------------------------------------
+// The retained seed path: the pre-pipeline CncServer request handling, kept
+// verbatim minus the Simulation/TraceLog hooks (time is a parameter) so both
+// sides measure exactly the handler. Database rows are updated eagerly per
+// beacon, clients are found by select_where scans, pickup and purge walk the
+// whole entries vector — the costs the pipeline removes.
+
+class SeedServer {
+ public:
+  net::HttpResponse handle(const net::HttpRequest& request,
+                           sim::TimePoint now) {
+    net::HttpResponse response = dispatch(request, now);
+    response_chain_ =
+        cnc::RequestEngine::fold_response(response_chain_, response);
+    return response;
+  }
+
+  std::vector<cnc::Entry> take_new_entries() {
+    std::vector<cnc::Entry> out;
+    for (auto& entry : entries_) {
+      if (!entry.retrieved) {
+        entry.retrieved = true;
+        out.push_back(entry);
+      }
+    }
+    return out;
+  }
+
+  std::size_t purge_retrieved(sim::TimePoint cutoff) {
+    const std::size_t before = entries_.size();
+    std::erase_if(entries_, [cutoff](const cnc::Entry& e) {
+      return e.retrieved && e.received_at <= cutoff;
+    });
+    return before - entries_.size();
+  }
+
+  void push_news(cnc::Payload payload) {
+    news_.emplace_back(next_news_seq_++, std::move(payload));
+  }
+
+  void push_ad(const std::string& client_id, cnc::Payload payload) {
+    ads_[client_id].push_back(std::move(payload));
+  }
+
+  std::uint64_t response_chain() const { return response_chain_; }
+
+  /// Same digest steps as RequestEngine::state_checksum, computed from the
+  /// seed-side representation (rows in id order == first-contact order).
+  std::uint64_t state_checksum() const {
+    std::uint64_t h = cnc::kChecksumBasis;
+    h = cnc::checksum_mix(h, get_news_);
+    h = cnc::checksum_mix(h, uploads_);
+    h = cnc::checksum_mix(h, upload_bytes_);
+    h = cnc::checksum_mix(h, rejected_);
+    std::uint64_t pending = 0;
+    for (const auto& [client, payloads] : ads_) pending += payloads.size();
+    h = cnc::checksum_mix(h, pending);
+    if (const cnc::Table* clients = db_.find_table("clients")) {
+      for (const auto& [id, row] : clients->rows()) {
+        h = cnc::checksum_mix_bytes(h, row.at("client_id"));
+        h = cnc::checksum_mix_bytes(h, row.at("type"));
+        h = cnc::checksum_mix(h, std::stoull(row.at("contacts")));
+        h = cnc::checksum_mix(h, std::stoull(row.at("last_news_seq")));
+      }
+    }
+    std::uint64_t retrieved = 0;
+    for (const cnc::Entry& e : entries_) {
+      h = cnc::checksum_mix_bytes(h, e.client_id);
+      h = cnc::checksum_mix_bytes(h, e.data_name);
+      h = cnc::checksum_mix(h, e.blob.key_id);
+      h = cnc::checksum_mix_bytes(h, e.blob.ciphertext);
+      h = cnc::checksum_mix(h, static_cast<std::uint64_t>(e.received_at));
+      h = cnc::checksum_mix(h, e.retrieved ? 1u : 0u);
+      h = cnc::checksum_mix(h, e.id);
+      if (e.retrieved) ++retrieved;
+    }
+    h = cnc::checksum_mix(h, retrieved);  // == the pipeline's watermark
+    h = cnc::checksum_mix(h, news_.size());
+    h = cnc::checksum_mix(h, next_news_seq_);
+    h = cnc::checksum_mix(h, next_entry_id_);
+    return h;
+  }
+
+ private:
+  net::HttpResponse dispatch(const net::HttpRequest& request,
+                             sim::TimePoint now) {
+    if (request.path != "/newsforyou") {
+      ++rejected_;
+      return net::HttpResponse{404, {}};
+    }
+    auto cmd = request.params.find("cmd");
+    if (cmd == request.params.end()) {
+      ++rejected_;
+      return net::HttpResponse{400, {}};
+    }
+    if (cmd->second == "GET_NEWS") return handle_get_news(request, now);
+    if (cmd->second == "ADD_ENTRY") return handle_add_entry(request, now);
+    ++rejected_;
+    return net::HttpResponse{400, {}};
+  }
+
+  cnc::Row* client_row(const std::string& client_id, const std::string& type,
+                       sim::TimePoint now) {
+    auto& clients = db_.table("clients");
+    auto matches = clients.select_where("client_id", client_id);
+    if (!matches.empty()) {
+      cnc::Row* row = clients.find(matches.front().first);
+      (*row)["last_seen"] = sim::format_time(now);
+      (*row)["contacts"] = std::to_string(std::stoull((*row)["contacts"]) + 1);
+      return row;
+    }
+    cnc::Row row;
+    row["client_id"] = client_id;
+    row["type"] = type;
+    row["first_seen"] = sim::format_time(now);
+    row["last_seen"] = row["first_seen"];
+    row["contacts"] = "1";
+    row["last_news_seq"] = "0";
+    const auto id = clients.insert(std::move(row));
+    return clients.find(id);
+  }
+
+  net::HttpResponse handle_get_news(const net::HttpRequest& request,
+                                    sim::TimePoint now) {
+    auto client_it = request.params.find("client");
+    if (client_it == request.params.end()) {
+      ++rejected_;
+      return net::HttpResponse{400, {}};
+    }
+    const std::string& client_id = client_it->second;
+    auto type_it = request.params.find("type");
+    const std::string type =
+        type_it == request.params.end() ? cnc::kClientTypeFl : type_it->second;
+
+    ++get_news_;
+    access_log_.push_back(sim::format_time(now) + " GET_NEWS client=" +
+                          client_id + " type=" + type);
+    cnc::Row* row = client_row(client_id, type, now);
+
+    std::vector<cnc::Payload> delivery;
+    if (auto it = ads_.find(client_id); it != ads_.end()) {
+      for (auto& payload : it->second) delivery.push_back(std::move(payload));
+      ads_.erase(it);
+    }
+    std::uint64_t last_seen = std::stoull((*row)["last_news_seq"]);
+    for (const auto& [seq, payload] : news_) {
+      if (seq > last_seen) {
+        delivery.push_back(payload);
+        last_seen = seq;
+      }
+    }
+    (*row)["last_news_seq"] = std::to_string(last_seen);
+    return net::HttpResponse{200, cnc::serialize_payloads(delivery)};
+  }
+
+  net::HttpResponse handle_add_entry(const net::HttpRequest& request,
+                                     sim::TimePoint now) {
+    auto client_it = request.params.find("client");
+    if (client_it == request.params.end()) {
+      ++rejected_;
+      return net::HttpResponse{400, {}};
+    }
+    const std::string& client_id = client_it->second;
+    auto type_it = request.params.find("type");
+    const std::string type =
+        type_it == request.params.end() ? cnc::kClientTypeFl : type_it->second;
+
+    const std::string_view body = request.body;
+    if (body.size() < 8 || body.substr(0, 4) != "UPL1") {
+      ++rejected_;
+      return net::HttpResponse{400, {}};
+    }
+    std::string data_name;
+    cnc::EncryptedBlob blob;
+    try {
+      const std::uint32_t name_len = common::get_u32(body, 4);
+      if (8 + name_len > body.size()) {
+        ++rejected_;
+        return net::HttpResponse{400, {}};
+      }
+      data_name = std::string(body.substr(8, name_len));
+      auto parsed = cnc::EncryptedBlob::parse(body.substr(8 + name_len));
+      if (!parsed) {
+        ++rejected_;
+        return net::HttpResponse{400, {}};
+      }
+      blob = std::move(*parsed);
+    } catch (const std::out_of_range&) {
+      ++rejected_;
+      return net::HttpResponse{400, {}};
+    }
+
+    client_row(client_id, type, now);
+    cnc::Entry entry;
+    entry.id = next_entry_id_++;
+    entry.client_id = client_id;
+    entry.client_type = type;
+    entry.data_name = data_name;
+    entry.received_at = now;
+    upload_bytes_ += blob.ciphertext.size();
+    ++uploads_;
+    entry.blob = std::move(blob);
+    entries_.push_back(std::move(entry));
+    access_log_.push_back(sim::format_time(now) + " ADD_ENTRY client=" +
+                          client_id + " name=" + data_name);
+    return net::HttpResponse{200, "OK"};
+  }
+
+  cnc::Database db_;
+  std::map<std::string, std::vector<cnc::Payload>> ads_;
+  std::vector<std::pair<std::uint64_t, cnc::Payload>> news_;
+  std::uint64_t next_news_seq_ = 1;
+  std::vector<cnc::Entry> entries_;
+  std::uint64_t next_entry_id_ = 1;
+  std::vector<std::string> access_log_;
+  std::uint64_t get_news_ = 0;
+  std::uint64_t uploads_ = 0;
+  std::uint64_t upload_bytes_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t response_chain_ = cnc::kChecksumBasis;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic beacon streams. An op is either a wave of requests (one
+// beacon burst hitting the server at `at`) or the attack-center cadence
+// (pickup + purge). Ops are generated in strictly increasing time order per
+// stream, so replaying the vector serially and scheduling it onto a shard
+// execute identically.
+
+struct Op {
+  sim::TimePoint at = 0;
+  std::vector<net::HttpRequest> requests;  // empty for pickup ops
+  sim::TimePoint purge_cutoff = 0;
+  bool pickup = false;
+};
+
+struct OpStream {
+  std::vector<Op> ops;
+  std::size_t beacons = 0;
+};
+
+OpStream make_stream(std::uint64_t seed, std::size_t clients,
+                     std::size_t waves, std::size_t wave_size,
+                     sim::Duration wave_gap, std::size_t pickup_every,
+                     const cnc::CncPublicKey& upload_key,
+                     const std::string& client_prefix) {
+  OpStream stream;
+  sim::Rng rng(seed);
+  for (std::size_t w = 0; w < waves; ++w) {
+    Op wave;
+    wave.at = static_cast<sim::TimePoint>(w + 1) * wave_gap;
+    wave.requests.reserve(wave_size);
+    for (std::size_t i = 0; i < wave_size; ++i) {
+      net::HttpRequest r;
+      r.path = "/newsforyou";
+      const std::string client =
+          client_prefix +
+          std::to_string(rng.uniform_int(
+              0, static_cast<std::int64_t>(clients) - 1));
+      const double roll = rng.next_double();
+      if (roll < 0.20) {
+        r.method = "POST";
+        r.params = {{"cmd", "ADD_ENTRY"}, {"client", client}, {"type", "FL"}};
+        r.body = cnc::serialize_entry_upload(
+            "f" + std::to_string(w) + "-" + std::to_string(i),
+            cnc::encrypt_for(upload_key,
+                             "loot " + std::to_string(rng.next_u64())));
+      } else if (roll < 0.23) {
+        r.path = roll < 0.215 ? "/wrong" : "/newsforyou";  // 404s and 400s
+        r.params = {{"cmd", roll < 0.215 ? "GET_NEWS" : "DANCE"},
+                    {"client", client}};
+      } else {
+        r.params = {{"cmd", "GET_NEWS"},
+                    {"client", client},
+                    {"type", rng.bernoulli(0.5) ? "FL" : "SP"}};
+      }
+      wave.requests.push_back(std::move(r));
+      ++stream.beacons;
+    }
+    stream.ops.push_back(std::move(wave));
+    if (pickup_every != 0 && (w + 1) % pickup_every == 0) {
+      Op pickup;
+      pickup.at = stream.ops.back().at + wave_gap / 2;
+      pickup.pickup = true;
+      pickup.purge_cutoff = pickup.at - 2 * sim::kHour;
+      stream.ops.push_back(std::move(pickup));
+    }
+  }
+  return stream;
+}
+
+struct RunResult {
+  double ms = 0.0;
+  std::uint64_t response_chain = 0;
+  std::uint64_t state_checksum = 0;
+};
+
+RunResult run_seed(const OpStream& stream) {
+  SeedServer server;
+  server.push_news(cnc::Payload{"mod-broadcast", "broadcast module bytes"});
+  RunResult result;
+  result.ms = time_ms([&] {
+    for (const Op& op : stream.ops) {
+      if (op.pickup) {
+        server.take_new_entries();
+        server.purge_retrieved(op.purge_cutoff);
+      } else {
+        for (const net::HttpRequest& r : op.requests) server.handle(r, op.at);
+      }
+    }
+  });
+  result.response_chain = server.response_chain();
+  result.state_checksum = server.state_checksum();
+  return result;
+}
+
+RunResult run_pipeline(const OpStream& stream) {
+  cnc::RequestEngine engine;
+  engine.push_news(cnc::Payload{"mod-broadcast", "broadcast module bytes"});
+  RunResult result;
+  result.ms = time_ms([&] {
+    for (const Op& op : stream.ops) {
+      if (op.pickup) {
+        engine.take_new_entries();
+        engine.purge_retrieved(op.purge_cutoff);
+      } else {
+        engine.handle_batch(op.requests, op.at);
+      }
+    }
+  });
+  result.response_chain = engine.response_chain();
+  result.state_checksum = engine.state_checksum();
+  return result;
+}
+
+void check_single_thread_identity(const RunResult& seed,
+                                  const RunResult& pipeline) {
+  if (pipeline.response_chain != seed.response_chain) {
+    fatal("pipeline response chain diverged from the seed path");
+  }
+  if (pipeline.state_checksum != seed.state_checksum) {
+    fatal("pipeline state checksum diverged from the seed path");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The sharded beacon storm: one engine per site shard, one stream per shard,
+// merged deterministically in shard index order.
+
+std::vector<OpStream> make_storm_streams(std::size_t shards,
+                                         std::size_t clients_per_shard,
+                                         std::size_t waves,
+                                         std::size_t wave_size,
+                                         const cnc::CncPublicKey& upload_key) {
+  std::vector<OpStream> streams;
+  streams.reserve(shards);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    streams.push_back(make_stream(
+        sim::derive_seed(0xc2c570, shard), clients_per_shard, waves,
+        wave_size, sim::minutes(10), /*pickup_every=*/36, upload_key,
+        "c" + std::to_string(shard) + "-"));
+  }
+  return streams;
+}
+
+struct StormResult {
+  cnc::StormMerge merge;
+  double ms = 0.0;
+};
+
+/// Serial seed-path reference for the storm: one SeedServer per shard, each
+/// replaying its stream, merged with the same shard-order fold the pipeline
+/// uses.
+StormResult run_storm_seed(const std::vector<OpStream>& streams) {
+  StormResult result;
+  std::vector<std::uint64_t> chains, states;
+  result.ms = time_ms([&] {
+    for (const OpStream& stream : streams) {
+      SeedServer server;
+      server.push_news(
+          cnc::Payload{"mod-broadcast", "broadcast module bytes"});
+      for (const Op& op : stream.ops) {
+        if (op.pickup) {
+          server.take_new_entries();
+          server.purge_retrieved(op.purge_cutoff);
+        } else {
+          for (const net::HttpRequest& r : op.requests) server.handle(r, op.at);
+        }
+      }
+      chains.push_back(server.response_chain());
+      states.push_back(server.state_checksum());
+    }
+  });
+  result.merge.response_checksum = cnc::kChecksumBasis;
+  result.merge.state_checksum = cnc::kChecksumBasis;
+  for (std::size_t k = 0; k < chains.size(); ++k) {
+    result.merge.response_checksum =
+        cnc::checksum_mix(result.merge.response_checksum, chains[k]);
+    result.merge.state_checksum =
+        cnc::checksum_mix(result.merge.state_checksum, states[k]);
+  }
+  return result;
+}
+
+StormResult run_storm_pipeline(const std::vector<OpStream>& streams,
+                               sim::ShardedScheduler::Mode mode,
+                               unsigned workers) {
+  const std::size_t shards = streams.size();
+  std::vector<cnc::RequestEngine> engines(shards);
+  for (auto& engine : engines) {
+    engine.push_news(cnc::Payload{"mod-broadcast", "broadcast module bytes"});
+  }
+
+  sim::ShardPlan plan;
+  for (std::size_t k = 0; k < shards; ++k) {
+    plan.labels.push_back("site-" + std::to_string(k));
+  }
+  // Ring of 6-hour WAN links. Beacons terminate at their site's server, so
+  // there is no cross-shard traffic; the channels exist to give the
+  // conservative windows a realistic lookahead instead of the unbounded
+  // isolated-shard fast path.
+  for (std::size_t k = 0; k < shards; ++k) {
+    const auto a = static_cast<std::uint32_t>(k);
+    const auto b = static_cast<std::uint32_t>((k + 1) % shards);
+    plan.channels.push_back({a, b, 6 * sim::kHour});
+    plan.channels.push_back({b, a, 6 * sim::kHour});
+  }
+  sim::ShardedScheduler scheduler(plan,
+                                  sim::ShardedScheduler::Options{mode, workers});
+
+  sim::TimePoint horizon = 0;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    cnc::RequestEngine* engine = &engines[shard];
+    for (const Op& op : streams[shard].ops) {
+      horizon = std::max(horizon, op.at);
+      const Op* bound = &op;
+      if (op.pickup) {
+        scheduler.schedule(shard, op.at, [engine, bound] {
+          engine->take_new_entries();
+          engine->purge_retrieved(bound->purge_cutoff);
+        });
+      } else {
+        scheduler.schedule(shard, op.at, [engine, bound] {
+          engine->handle_batch(bound->requests, bound->at);
+        });
+      }
+    }
+  }
+
+  StormResult result;
+  result.ms = time_ms([&] { scheduler.run_until(horizon + 1); });
+  result.merge = cnc::merge_storm(engines);
+  return result;
+}
+
+void check_storm_identity(const StormResult& reference,
+                          const StormResult& candidate, const char* label) {
+  if (candidate.merge.response_checksum != reference.merge.response_checksum) {
+    std::printf("  (%s)\n", label);
+    fatal("storm merged response checksum diverged");
+  }
+  if (candidate.merge.state_checksum != reference.merge.state_checksum) {
+    std::printf("  (%s)\n", label);
+    fatal("storm merged state checksum diverged");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storm + purge tail latency: per-beacon handle() latency percentiles with
+// the pickup/purge cadence running, plus the structural O(pending) gate.
+
+struct LatencyResult {
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double max_ns = 0.0;
+  std::uint64_t purged = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t purge_scanned = 0;
+};
+
+LatencyResult run_latency(const OpStream& stream) {
+  cnc::RequestEngine engine;
+  engine.push_news(cnc::Payload{"mod-broadcast", "broadcast module bytes"});
+  std::vector<double> samples;
+  samples.reserve(stream.beacons);
+  LatencyResult result;
+  for (const Op& op : stream.ops) {
+    if (op.pickup) {
+      engine.take_new_entries();
+      result.purged += engine.purge_retrieved(op.purge_cutoff);
+      ++result.ticks;
+    } else {
+      for (const net::HttpRequest& r : op.requests) {
+        const auto start = std::chrono::steady_clock::now();
+        engine.handle(r, op.at);
+        samples.push_back(std::chrono::duration<double, std::nano>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+      }
+    }
+  }
+  result.purge_scanned = engine.scan_stats().total_purge_scanned;
+  std::sort(samples.begin(), samples.end());
+  if (!samples.empty()) {
+    result.p50_ns = samples[samples.size() / 2];
+    result.p99_ns = samples[samples.size() * 99 / 100];
+    result.max_ns = samples.back();
+  }
+  return result;
+}
+
+void check_purge_cost(const LatencyResult& r) {
+  // Each purge examines at most purged-this-tick + 1 entries; summed over
+  // the run that is <= total purged + one probe per tick. A full-scan
+  // regression makes purge_scanned proportional to resident history and
+  // blows through this immediately.
+  if (r.purge_scanned > r.purged + r.ticks) {
+    fatal("purge scan work exceeds purged + ticks — O(pending) contract broken");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reproduction pass
+
+void reproduce_cnc_throughput() {
+  const auto key_pair = cnc::CncKeyPair::generate(0xc2c0ffee);
+  const auto upload_key = cnc::public_half(key_pair);
+
+  benchutil::section("single-thread: zero-copy pipeline vs retained seed path");
+  const OpStream flat =
+      make_stream(0xbea7, /*clients=*/800, /*waves=*/400, /*wave_size=*/150,
+                  sim::kMinute, /*pickup_every=*/20, upload_key, "c-");
+  std::printf("%zu beacons, 800 clients, pickup+purge every 20 waves\n",
+              flat.beacons);
+  const RunResult seed = run_seed(flat);
+  const RunResult pipeline = run_pipeline(flat);
+  check_single_thread_identity(seed, pipeline);
+  const double speedup = seed.ms / pipeline.ms;
+  std::printf("seed path:  %8.1f ms  (%.0f beacons/s)\n", seed.ms,
+              1000.0 * static_cast<double>(flat.beacons) / seed.ms);
+  std::printf("pipeline:   %8.1f ms  (%.0f beacons/s)\n", pipeline.ms,
+              1000.0 * static_cast<double>(flat.beacons) / pipeline.ms);
+  std::printf("speedup %.1fx; responses and state bit-identical\n", speedup);
+  if (speedup < 5.0) {
+    fatal("single-thread pipeline speedup below the 5x floor");
+  }
+
+  benchutil::section("sharded beacon storm (8 site shards)");
+  const auto streams = make_storm_streams(/*shards=*/8,
+                                          /*clients_per_shard=*/200,
+                                          /*waves=*/400, /*wave_size=*/50,
+                                          upload_key);
+  std::size_t total = 0;
+  for (const auto& s : streams) total += s.beacons;
+  std::printf("%zu beacons across 8 shards; 6h WAN ring lookahead\n", total);
+
+  const StormResult storm_seed = run_storm_seed(streams);
+  const StormResult single =
+      run_storm_pipeline(streams, sim::ShardedScheduler::Mode::kSingleQueue, 1);
+  check_storm_identity(storm_seed, single, "single-queue vs serial seed");
+  std::printf("serial seed path: %8.1f ms\n", storm_seed.ms);
+  std::printf("single-queue:     %8.1f ms (pipeline reference)\n", single.ms);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> worker_counts{1, 2};
+  if (hw > 2) worker_counts.push_back(hw);
+  std::printf("\n%-10s %-12s %-10s %-18s\n", "workers", "wall-ms", "speedup",
+              "merged-checksums");
+  double best_speedup = 0.0;
+  for (const unsigned workers : worker_counts) {
+    const StormResult sharded = run_storm_pipeline(
+        streams, sim::ShardedScheduler::Mode::kSharded, workers);
+    check_storm_identity(storm_seed, sharded, "sharded vs serial seed");
+    check_storm_identity(single, sharded, "sharded vs single-queue");
+    const double s = single.ms / sharded.ms;
+    best_speedup = std::max(best_speedup, s);
+    std::printf("%-10u %-12.1f %-10.2f %-18s\n", workers, sharded.ms, s,
+                "yes (bit-identical)");
+  }
+  std::printf("\nevery run (seed, single-queue, sharded x%zu) merged to "
+              "identical response/state checksums.\n",
+              worker_counts.size());
+  if (hw >= 4) {
+    std::printf("best storm speedup %.2fx on %u cores (target: >=2x)\n",
+                best_speedup, hw);
+    if (best_speedup < 2.0) {
+      fatal("sharded storm speedup below the 2x floor on 4+ cores");
+    }
+  } else {
+    std::printf("note: only %u hardware thread(s) — the >=2x storm target "
+                "needs a 4+-core machine; identity holds on any.\n",
+                hw);
+  }
+
+  benchutil::section("storm + purge: per-beacon latency tail");
+  const OpStream tail =
+      make_stream(0x7a11, /*clients=*/500, /*waves=*/300, /*wave_size=*/100,
+                  sim::kMinute, /*pickup_every=*/12, upload_key, "c-");
+  const LatencyResult lat = run_latency(tail);
+  check_purge_cost(lat);
+  std::printf("%zu beacons with pickup+purge every 12 waves\n", tail.beacons);
+  std::printf("handle latency: p50 %.0f ns, p99 %.0f ns, max %.0f ns\n",
+              lat.p50_ns, lat.p99_ns, lat.max_ns);
+  std::printf("purge work: %llu scanned for %llu purged over %llu ticks "
+              "(O(pending) gate: scanned <= purged + ticks)\n",
+              static_cast<unsigned long long>(lat.purge_scanned),
+              static_cast<unsigned long long>(lat.purged),
+              static_cast<unsigned long long>(lat.ticks));
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark cases for regression tracking (BENCH_*.json baselines)
+
+OpStream smoke_stream(const cnc::CncPublicKey& upload_key) {
+  // 400 clients keeps the seed path's O(clients) scan cost dominant, so the
+  // cnc_seed_speedup floor sits well clear of runner noise.
+  return make_stream(0x57a7e, /*clients=*/400, /*waves=*/60, /*wave_size=*/100,
+                     sim::kMinute, /*pickup_every=*/15, upload_key, "c-");
+}
+
+const cnc::CncPublicKey& bench_key() {
+  static const cnc::CncPublicKey key =
+      cnc::public_half(cnc::CncKeyPair::generate(0xc2c0ffee));
+  return key;
+}
+
+void BM_CncSeedBaseline(benchmark::State& state) {
+  const OpStream stream = smoke_stream(bench_key());
+  for (auto _ : state) {
+    const RunResult r = run_seed(stream);
+    benchmark::DoNotOptimize(r.state_checksum);
+  }
+}
+BENCHMARK(BM_CncSeedBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_CncPipeline(benchmark::State& state) {
+  const OpStream stream = smoke_stream(bench_key());
+  double total_ms = 0.0;
+  std::size_t beacons = 0;
+  for (auto _ : state) {
+    const RunResult r = run_pipeline(stream);
+    total_ms += r.ms;
+    beacons += stream.beacons;
+    benchmark::DoNotOptimize(r.state_checksum);
+  }
+  // Hard bench_diff floor: the decode+handle rate a single thread sustains.
+  // The CI floor sits ~10x under the reference box's rate (see ci.yml).
+  if (total_ms > 0.0) {
+    state.counters["beacons_per_sec"] =
+        1000.0 * static_cast<double>(beacons) / total_ms;
+  }
+}
+BENCHMARK(BM_CncPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_CncSpeedup(benchmark::State& state) {
+  const OpStream stream = smoke_stream(bench_key());
+  double seed_ms = 0.0;
+  double pipeline_ms = 0.0;
+  for (auto _ : state) {
+    const RunResult seed = run_seed(stream);
+    const RunResult pipeline = run_pipeline(stream);
+    check_single_thread_identity(seed, pipeline);  // exits on divergence
+    seed_ms += seed.ms;
+    pipeline_ms += pipeline.ms;
+    benchmark::DoNotOptimize(pipeline.state_checksum);
+  }
+  // Hard floors: 1.0 means every response/state checksum matched (the
+  // process died before reporting otherwise); the speedup is single-thread,
+  // so it exists on any machine.
+  state.counters["cnc_response_match"] = 1.0;
+  if (pipeline_ms > 0.0) {
+    state.counters["cnc_seed_speedup"] = seed_ms / pipeline_ms;
+  }
+}
+BENCHMARK(BM_CncSpeedup)->Unit(benchmark::kMillisecond);
+
+void BM_CncShardedStorm(benchmark::State& state) {
+  const auto streams = make_storm_streams(/*shards=*/4,
+                                          /*clients_per_shard=*/120,
+                                          /*waves=*/120, /*wave_size=*/25,
+                                          bench_key());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  double single_ms = 0.0;
+  double sharded_ms = 0.0;
+  for (auto _ : state) {
+    const StormResult single = run_storm_pipeline(
+        streams, sim::ShardedScheduler::Mode::kSingleQueue, 1);
+    const StormResult sharded =
+        run_storm_pipeline(streams, sim::ShardedScheduler::Mode::kSharded, 0);
+    check_storm_identity(single, sharded, "sharded vs single-queue");
+    single_ms += single.ms;
+    sharded_ms += sharded.ms;
+    benchmark::DoNotOptimize(sharded.merge.state_checksum);
+  }
+  // Only meaningful with the cores; a counter the baseline lacks is legal
+  // for bench_diff, dropping one it has is not (same convention as
+  // sharded_speedup_4core).
+  if (hw >= 4 && sharded_ms > 0.0) {
+    state.counters["cnc_storm_speedup_4core"] = single_ms / sharded_ms;
+  }
+}
+BENCHMARK(BM_CncShardedStorm)->Unit(benchmark::kMillisecond);
+
+void BM_CncStormPurge(benchmark::State& state) {
+  const OpStream stream = smoke_stream(bench_key());
+  double p99 = 0.0;
+  for (auto _ : state) {
+    const LatencyResult lat = run_latency(stream);
+    check_purge_cost(lat);  // exits when purge stops being O(pending)
+    p99 = std::max(p99, lat.p99_ns);
+    benchmark::DoNotOptimize(lat.p99_ns);
+  }
+  // Hard bench_diff ceiling: an O(history) slip in handle/pickup/purge blows
+  // the tail latency by orders of magnitude, far past runner noise.
+  state.counters["p99_handle_ns"] = p99;
+}
+BENCHMARK(BM_CncStormPurge)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::header(
+      "CNC-THROUGHPUT: sharded C&C request pipeline vs retained seed server",
+      "framework performance for the Fig. 5 C&C platform under beacon storms");
+  if (!benchutil::has_flag(argc, argv, "--no-repro")) {
+    reproduce_cnc_throughput();
+  }
+  return benchutil::run_benchmarks(argc, argv);
+}

@@ -49,11 +49,17 @@ common::Bytes EncryptedBlob::serialize() const {
 }
 
 std::optional<EncryptedBlob> EncryptedBlob::parse(std::string_view bytes) {
+  const auto view = parse_blob_view(bytes);
+  if (!view) return std::nullopt;
+  return view->materialize();
+}
+
+std::optional<EncryptedBlobView> parse_blob_view(std::string_view bytes) {
   if (bytes.size() < 12 || bytes.substr(0, 4) != "ENC1") return std::nullopt;
-  EncryptedBlob blob;
-  blob.key_id = common::get_u64(bytes, 4);
-  blob.ciphertext = common::Bytes(bytes.substr(12));
-  return blob;
+  EncryptedBlobView view;
+  view.key_id = common::get_u64(bytes, 4);
+  view.ciphertext = bytes.substr(12);
+  return view;
 }
 
 EncryptedBlob encrypt_for(const CncPublicKey& recipient,

@@ -41,6 +41,22 @@ struct EncryptedBlob {
   static std::optional<EncryptedBlob> parse(std::string_view bytes);
 };
 
+/// Zero-copy view of a serialized blob: `ciphertext` aliases the wire buffer
+/// and stays valid only as long as it does. The request pipeline validates
+/// uploads through this without copying; only accepted entries materialize.
+struct EncryptedBlobView {
+  std::uint64_t key_id = 0;
+  std::string_view ciphertext;
+
+  EncryptedBlob materialize() const {
+    return EncryptedBlob{key_id, common::Bytes(ciphertext)};
+  }
+};
+
+/// Parses the ENC1 framing without copying the ciphertext. Same acceptance
+/// set as EncryptedBlob::parse (which is implemented on top of this).
+std::optional<EncryptedBlobView> parse_blob_view(std::string_view bytes);
+
 /// Encrypts for the holder of the matching private key.
 EncryptedBlob encrypt_for(const CncPublicKey& recipient,
                           std::string_view plaintext);

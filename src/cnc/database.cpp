@@ -45,6 +45,21 @@ std::vector<std::pair<std::uint64_t, const Row*>> Table::select_where(
   return out;
 }
 
+const Row* Table::find_first_where(const std::string& column,
+                                   const std::string& value) const {
+  for (const auto& [id, row] : rows_) {
+    auto col = row.find(column);
+    if (col != row.end() && col->second == value) return &row;
+  }
+  return nullptr;
+}
+
+Row* Table::find_first_where(const std::string& column,
+                             const std::string& value) {
+  const Table* self = this;
+  return const_cast<Row*>(self->find_first_where(column, value));
+}
+
 std::vector<std::pair<std::uint64_t, const Row*>> Table::all() const {
   std::vector<std::pair<std::uint64_t, const Row*>> out;
   out.reserve(rows_.size());

@@ -2,54 +2,6 @@
 
 namespace cyd::cnc {
 
-common::Bytes serialize_payloads(const std::vector<Payload>& payloads) {
-  common::Bytes out("PLS1");
-  common::put_u32(out, static_cast<std::uint32_t>(payloads.size()));
-  for (const auto& p : payloads) {
-    common::put_u32(out, static_cast<std::uint32_t>(p.name.size()));
-    out.append(p.name);
-    common::put_u32(out, static_cast<std::uint32_t>(p.data.size()));
-    out.append(p.data);
-  }
-  return out;
-}
-
-std::vector<Payload> parse_payloads(std::string_view bytes) {
-  std::vector<Payload> out;
-  if (bytes.size() < 8 || bytes.substr(0, 4) != "PLS1") return out;
-  try {
-    std::size_t off = 4;
-    const std::uint32_t count = common::get_u32(bytes, off);
-    off += 4;
-    for (std::uint32_t i = 0; i < count; ++i) {
-      Payload p;
-      const std::uint32_t name_len = common::get_u32(bytes, off);
-      off += 4;
-      if (off + name_len > bytes.size()) return {};
-      p.name = std::string(bytes.substr(off, name_len));
-      off += name_len;
-      const std::uint32_t data_len = common::get_u32(bytes, off);
-      off += 4;
-      if (off + data_len > bytes.size()) return {};
-      p.data = common::Bytes(bytes.substr(off, data_len));
-      off += data_len;
-      out.push_back(std::move(p));
-    }
-  } catch (const std::out_of_range&) {
-    return {};
-  }
-  return out;
-}
-
-common::Bytes serialize_entry_upload(const std::string& data_name,
-                                     const EncryptedBlob& blob) {
-  common::Bytes out("UPL1");
-  common::put_u32(out, static_cast<std::uint32_t>(data_name.size()));
-  out.append(data_name);
-  out.append(blob.serialize());
-  return out;
-}
-
 CncServer::CncServer(sim::Simulation& simulation, std::string server_id,
                      std::vector<std::string> domains,
                      CncPublicKey upload_key)
@@ -82,151 +34,82 @@ void CncServer::undeploy(net::Network& network) {
   sim_.log(sim::TraceCategory::kCnc, server_id_, "cnc.undeploy", "");
 }
 
-void CncServer::log_access(const std::string& line) {
-  if (logging_enabled_) {
-    access_log_.push_back(sim::format_time(sim_.now()) + " " + line);
-  }
+void CncServer::flush_clients() const {
+  engine_.drain_touched([this](ClientState& s, std::string_view client_id) {
+    auto& clients = db_.table("clients");
+    if (s.row_id == 0) {
+      Row row;
+      row["client_id"] = std::string(client_id);
+      row["type"] = s.type;
+      row["first_seen"] = sim::format_time(s.first_seen);
+      row["last_seen"] = sim::format_time(s.last_seen);
+      row["contacts"] = std::to_string(s.contacts);
+      row["last_news_seq"] = std::to_string(s.last_news_seq);
+      s.row_id = clients.insert(std::move(row));
+    } else {
+      Row* row = clients.find(s.row_id);
+      (*row)["last_seen"] = sim::format_time(s.last_seen);
+      (*row)["contacts"] = std::to_string(s.contacts);
+      (*row)["last_news_seq"] = std::to_string(s.last_news_seq);
+    }
+  });
 }
 
-Row* CncServer::client_row(const std::string& client_id,
-                           const std::string& type) {
-  auto& clients = db_.table("clients");
-  auto matches = clients.select_where("client_id", client_id);
-  if (!matches.empty()) {
-    Row* row = clients.find(matches.front().first);
-    (*row)["last_seen"] = sim::format_time(sim_.now());
-    (*row)["contacts"] =
-        std::to_string(std::stoull((*row)["contacts"]) + 1);
-    return row;
+void CncServer::trace_outcome(const RequestEngine::Outcome& outcome) {
+  switch (outcome.verb) {
+    case RequestVerb::kGetNews:
+      sim_.log(sim::TraceCategory::kCnc, server_id_, "cnc.get-news",
+               std::string(outcome.client) + " -> " +
+                   std::to_string(outcome.delivered) + " payloads");
+      break;
+    case RequestVerb::kAddEntry:
+      sim_.log(sim::TraceCategory::kCnc, server_id_, "cnc.add-entry",
+               std::string(outcome.client) + " " +
+                   std::string(outcome.data_name));
+      break;
+    case RequestVerb::kInvalid:
+      break;  // rejected requests leave no trace, as before
   }
-  Row row;
-  row["client_id"] = client_id;
-  row["type"] = type;
-  row["first_seen"] = sim::format_time(sim_.now());
-  row["last_seen"] = row["first_seen"];
-  row["contacts"] = "1";
-  row["last_news_seq"] = "0";
-  const auto id = clients.insert(std::move(row));
-  return clients.find(id);
 }
 
 net::HttpResponse CncServer::handle(const net::HttpRequest& request) {
-  if (request.path != "/newsforyou") return net::HttpResponse{404, {}};
-  auto cmd = request.params.find("cmd");
-  if (cmd == request.params.end()) return net::HttpResponse{400, {}};
-  if (cmd->second == "GET_NEWS") return handle_get_news(request);
-  if (cmd->second == "ADD_ENTRY") return handle_add_entry(request);
-  return net::HttpResponse{400, {}};
+  RequestEngine::Outcome outcome;
+  net::HttpResponse response = engine_.handle(request, sim_.now(), &outcome);
+  trace_outcome(outcome);
+  return response;
 }
 
-net::HttpResponse CncServer::handle_get_news(const net::HttpRequest& request) {
-  auto client_it = request.params.find("client");
-  if (client_it == request.params.end()) return net::HttpResponse{400, {}};
-  const std::string& client_id = client_it->second;
-  auto type_it = request.params.find("type");
-  const std::string type =
-      type_it == request.params.end() ? kClientTypeFl : type_it->second;
-
-  ++get_news_count_;
-  log_access("GET_NEWS client=" + client_id + " type=" + type);
-  Row* row = client_row(client_id, type);
-
-  std::vector<Payload> delivery;
-  // Targeted commands first (ads), each delivered exactly once.
-  if (auto it = ads_.find(client_id); it != ads_.end()) {
-    for (auto& payload : it->second) delivery.push_back(std::move(payload));
-    ads_.erase(it);
+std::vector<net::HttpResponse> CncServer::handle_batch(
+    std::span<const net::HttpRequest> requests) {
+  const sim::TimePoint now = sim_.now();
+  std::vector<net::HttpResponse> responses;
+  responses.reserve(requests.size());
+  for (const net::HttpRequest& request : requests) {
+    RequestEngine::Outcome outcome;
+    responses.push_back(engine_.handle(request, now, &outcome));
+    trace_outcome(outcome);
   }
-  // Broadcast news the client has not seen yet.
-  std::uint64_t last_seen = std::stoull((*row)["last_news_seq"]);
-  for (const auto& [seq, payload] : news_) {
-    if (seq > last_seen) {
-      delivery.push_back(payload);
-      last_seen = seq;
-    }
-  }
-  (*row)["last_news_seq"] = std::to_string(last_seen);
-
-  sim_.log(sim::TraceCategory::kCnc, server_id_, "cnc.get-news",
-           client_id + " -> " + std::to_string(delivery.size()) +
-               " payloads");
-  return net::HttpResponse{200, serialize_payloads(delivery)};
-}
-
-net::HttpResponse CncServer::handle_add_entry(
-    const net::HttpRequest& request) {
-  auto client_it = request.params.find("client");
-  if (client_it == request.params.end()) return net::HttpResponse{400, {}};
-  const std::string& client_id = client_it->second;
-  auto type_it = request.params.find("type");
-  const std::string type =
-      type_it == request.params.end() ? kClientTypeFl : type_it->second;
-
-  const std::string_view body = request.body;
-  if (body.size() < 8 || body.substr(0, 4) != "UPL1") {
-    return net::HttpResponse{400, {}};
-  }
-  std::string data_name;
-  EncryptedBlob blob;
-  try {
-    const std::uint32_t name_len = common::get_u32(body, 4);
-    if (8 + name_len > body.size()) return net::HttpResponse{400, {}};
-    data_name = std::string(body.substr(8, name_len));
-    auto parsed = EncryptedBlob::parse(body.substr(8 + name_len));
-    if (!parsed) return net::HttpResponse{400, {}};
-    blob = std::move(*parsed);
-  } catch (const std::out_of_range&) {
-    return net::HttpResponse{400, {}};
-  }
-
-  client_row(client_id, type);
-  Entry entry;
-  entry.id = next_entry_id_++;
-  entry.client_id = client_id;
-  entry.client_type = type;
-  entry.data_name = data_name;
-  entry.received_at = sim_.now();
-  total_upload_bytes_ += blob.ciphertext.size();
-  ++upload_count_;
-  entry.blob = std::move(blob);
-  entries_.push_back(std::move(entry));
-
-  log_access("ADD_ENTRY client=" + client_id + " name=" + data_name);
-  sim_.log(sim::TraceCategory::kCnc, server_id_, "cnc.add-entry",
-           client_id + " " + data_name);
-  return net::HttpResponse{200, "OK"};
+  return responses;
 }
 
 void CncServer::push_ad(const std::string& client_id, Payload payload) {
   sim_.log(sim::TraceCategory::kCnc, server_id_, "cnc.push-ad",
            client_id + " " + payload.name);
-  ads_[client_id].push_back(std::move(payload));
+  engine_.push_ad(client_id, std::move(payload));
 }
 
 void CncServer::push_news(Payload payload) {
   sim_.log(sim::TraceCategory::kCnc, server_id_, "cnc.push-news",
            payload.name);
-  news_.emplace_back(next_news_seq_++, std::move(payload));
+  engine_.push_news(std::move(payload));
 }
 
 std::vector<Entry> CncServer::take_new_entries() {
-  std::vector<Entry> out;
-  for (auto& entry : entries_) {
-    if (!entry.retrieved) {
-      entry.retrieved = true;
-      out.push_back(entry);
-    }
-  }
-  return out;
+  return engine_.take_new_entries();
 }
 
 std::size_t CncServer::purge_retrieved(sim::Duration max_age) {
-  const sim::TimePoint cutoff = sim_.now() - max_age;
-  std::size_t before = entries_.size();
-  std::erase_if(entries_, [cutoff](const Entry& e) {
-    return e.retrieved && e.received_at <= cutoff;
-  });
-  const std::size_t purged = before - entries_.size();
+  const std::size_t purged = engine_.purge_retrieved(sim_.now() - max_age);
   if (purged > 0) {
     sim_.log(sim::TraceCategory::kCnc, server_id_, "cnc.purge",
              std::to_string(purged) + " entries");
@@ -236,11 +119,12 @@ std::size_t CncServer::purge_retrieved(sim::Duration max_age) {
 
 sim::Duration CncServer::purge_retention() const {
   // The panel's own knob: settings.purge_minutes, seeded to 30 at install
-  // time. Read on every purge tick so operators can retune a live server.
+  // time. Read on every purge tick so operators can retune a live server;
+  // rows() iteration keeps the tick allocation-free.
   if (const Table* settings = db_.find_table("settings")) {
-    for (const auto& [id, row] : settings->all()) {
-      auto it = row->find("purge_minutes");
-      if (it == row->end()) continue;
+    for (const auto& [id, row] : settings->rows()) {
+      auto it = row.find("purge_minutes");
+      if (it == row.end()) continue;
       try {
         return sim::minutes(std::stoll(it->second));
       } catch (const std::exception&) {
@@ -269,24 +153,20 @@ void CncServer::stop_purge_task() {
 
 void CncServer::run_log_wiper() {
   // chkconfig off, shred the logs, remove old DB rows, rm LogWiper.sh.
-  logging_enabled_ = false;
-  access_log_.clear();
+  engine_.set_logging(false);
+  engine_.clear_access_log();
   logs_wiped_ = true;
   sim_.log(sim::TraceCategory::kCnc, server_id_, "cnc.logwiper", "");
 }
 
-std::size_t CncServer::pending_ads() const {
-  std::size_t n = 0;
-  for (const auto& [client, payloads] : ads_) n += payloads.size();
-  return n;
-}
-
 std::vector<std::string> CncServer::known_clients() const {
+  flush_clients();
   std::vector<std::string> out;
   const Table* clients = db_.find_table("clients");
   if (clients == nullptr) return out;
-  for (const auto& [id, row] : clients->all()) {
-    out.push_back(row->at("client_id"));
+  out.reserve(clients->rows().size());
+  for (const auto& [id, row] : clients->rows()) {
+    out.push_back(row.at("client_id"));
   }
   return out;
 }

@@ -11,47 +11,27 @@
 // "military-like" dead-drop: the two sides never talk directly). A purge
 // task deletes retrieved entries every 30 minutes, and LogWiper.sh destroys
 // the access log and finally itself.
+//
+// Internally the server is a thin simulation adapter over cnc::RequestEngine
+// (the hot request pipeline — zero-copy decode, interned session state,
+// bounded logs; see pipeline.hpp). The Database here is the *cold* forensic
+// store: client rows are materialized write-behind from the engine's session
+// states whenever the database is read, in first-contact order, so table
+// dumps are byte-identical to the seed's eager row-per-beacon updates.
 
 #include <cstdint>
-#include <map>
-#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cnc/crypto.hpp"
 #include "cnc/database.hpp"
+#include "cnc/pipeline.hpp"
+#include "cnc/wire.hpp"
 #include "net/network.hpp"
 #include "sim/simulation.hpp"
 
 namespace cyd::cnc {
-
-/// Client type tags observed on real Flame infrastructure: Flame itself was
-/// only one of four supported client families.
-inline constexpr const char* kClientTypeFl = "FL";
-inline constexpr const char* kClientTypeSp = "SP";
-inline constexpr const char* kClientTypeSpe = "SPE";
-inline constexpr const char* kClientTypeIp = "IP";
-
-struct Payload {
-  std::string name;
-  common::Bytes data;
-};
-
-struct Entry {
-  std::uint64_t id = 0;
-  std::string client_id;
-  std::string client_type;
-  std::string data_name;
-  EncryptedBlob blob;
-  sim::TimePoint received_at = 0;
-  bool retrieved = false;  // picked up by the attack center
-};
-
-/// Wire helpers shared by server and clients.
-common::Bytes serialize_payloads(const std::vector<Payload>& payloads);
-std::vector<Payload> parse_payloads(std::string_view bytes);
-common::Bytes serialize_entry_upload(const std::string& data_name,
-                                     const EncryptedBlob& blob);
 
 class CncServer {
  public:
@@ -61,8 +41,16 @@ class CncServer {
   const std::string& id() const { return server_id_; }
   const std::vector<std::string>& domains() const { return domains_; }
   const CncPublicKey& upload_key() const { return upload_key_; }
-  Database& db() { return db_; }
-  const Database& db() const { return db_; }
+  /// The forensic store. Reading it flushes the write-behind client rows, so
+  /// the tables always look as if every beacon had updated them eagerly.
+  Database& db() {
+    flush_clients();
+    return db_;
+  }
+  const Database& db() const {
+    flush_clients();
+    return db_;
+  }
 
   /// Registers every domain with the network's internet DNS.
   void deploy(net::Network& network);
@@ -71,15 +59,21 @@ class CncServer {
 
   // --- protocol entry point (also callable directly in tests) ---
   net::HttpResponse handle(const net::HttpRequest& request);
+  /// Batched entry point for beacon storms: all requests handled at the
+  /// current simulated time, responses in request order. Equivalent to
+  /// calling handle() per request.
+  std::vector<net::HttpResponse> handle_batch(
+      std::span<const net::HttpRequest> requests);
 
   // --- attack-center side (out-of-band management channel) ---
   void push_ad(const std::string& client_id, Payload payload);
   void push_news(Payload payload);
   /// New (unretrieved) entries; marks them retrieved. Entry *files* stay on
   /// disk until the purge task runs — deletion follows pickup, not the
-  /// other way around.
+  /// other way around. O(new) via the engine's retrieved watermark.
   std::vector<Entry> take_new_entries();
   /// Deletes retrieved entries older than `max_age`; the scheduled cleanup.
+  /// O(purged): retrieved entries form a time-ordered prefix.
   std::size_t purge_retrieved(sim::Duration max_age);
   /// Retention configured in the settings table (`purge_minutes`, seeded to
   /// 30); falls back to 30 minutes when the row is missing or unparseable.
@@ -99,39 +93,45 @@ class CncServer {
   bool logs_wiped() const { return logs_wiped_; }
 
   // --- inspection (forensics / benches) ---
-  const std::vector<std::string>& access_log() const { return access_log_; }
-  const std::vector<Entry>& entries() const { return entries_; }
-  std::size_t pending_ads() const;
-  std::size_t news_count() const { return news_.size(); }
-  std::uint64_t total_upload_bytes() const { return total_upload_bytes_; }
-  std::size_t upload_count() const { return upload_count_; }
-  std::size_t get_news_count() const { return get_news_count_; }
+  const std::vector<std::string>& access_log() const {
+    return engine_.access_log();
+  }
+  /// Access-log lines shed by the retention cap (newest lines survive).
+  std::size_t access_log_dropped() const {
+    return engine_.access_log_dropped();
+  }
+  void set_access_log_cap(std::size_t cap) { engine_.set_access_log_cap(cap); }
+  const std::vector<Entry>& entries() const { return engine_.entries(); }
+  std::size_t pending_ads() const { return engine_.counters().pending_ads; }
+  std::size_t news_count() const { return engine_.news_count(); }
+  std::uint64_t total_upload_bytes() const {
+    return engine_.counters().upload_bytes;
+  }
+  std::size_t upload_count() const { return engine_.counters().uploads; }
+  std::size_t get_news_count() const { return engine_.counters().get_news; }
   std::vector<std::string> known_clients() const;
 
+  /// The hot request pipeline (bench / storm instrumentation).
+  RequestEngine& engine() { return engine_; }
+  const RequestEngine& engine() const { return engine_; }
+
  private:
-  void log_access(const std::string& line);
-  net::HttpResponse handle_get_news(const net::HttpRequest& request);
-  net::HttpResponse handle_add_entry(const net::HttpRequest& request);
-  Row* client_row(const std::string& client_id, const std::string& type);
+  void trace_outcome(const RequestEngine::Outcome& outcome);
+  /// Write-behind: materialize/update a `clients` row for every session
+  /// state touched since the last flush, in first-touch order.
+  void flush_clients() const;
 
   sim::Simulation& sim_;
   std::string server_id_;
   std::vector<std::string> domains_;
   CncPublicKey upload_key_;
-  Database db_;
+  // Both mutable so const forensic reads (db(), known_clients()) can flush
+  // the write-behind rows; logically the flush does not change state, it
+  // only moves it between the hot and cold representations.
+  mutable RequestEngine engine_;
+  mutable Database db_;
 
-  std::map<std::string, std::vector<Payload>> ads_;
-  std::vector<std::pair<std::uint64_t, Payload>> news_;
-  std::uint64_t next_news_seq_ = 1;
-  std::vector<Entry> entries_;
-  std::uint64_t next_entry_id_ = 1;
-
-  std::vector<std::string> access_log_;
   bool logs_wiped_ = false;
-  bool logging_enabled_ = true;
-  std::uint64_t total_upload_bytes_ = 0;
-  std::size_t upload_count_ = 0;
-  std::size_t get_news_count_ = 0;
   sim::EventHandle purge_handle_;
 };
 

@@ -10,11 +10,15 @@
 
 namespace cyd::net {
 
+// Transparent comparator: handlers on the hot path (the C&C decode layer)
+// look params up by string_view without materializing a key string.
+using HttpParams = std::map<std::string, std::string, std::less<>>;
+
 struct HttpRequest {
   std::string method = "GET";
   std::string host;  // domain or LAN host name
   std::string path = "/";
-  std::map<std::string, std::string> params;
+  HttpParams params;
   common::Bytes body;
   std::string client;  // originating host name (filled in by the stack)
 

@@ -52,8 +52,7 @@ std::optional<HttpResponse> Stack::http(HttpRequest request) {
 }
 
 std::optional<HttpResponse> Stack::http_get(
-    const std::string& host, const std::string& path,
-    std::map<std::string, std::string> params) {
+    const std::string& host, const std::string& path, HttpParams params) {
   HttpRequest request;
   request.method = "GET";
   request.host = host;

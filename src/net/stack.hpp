@@ -58,8 +58,7 @@ class Stack {
   std::optional<HttpResponse> http(HttpRequest request);
   std::optional<HttpResponse> http_get(const std::string& host,
                                        const std::string& path,
-                                       std::map<std::string, std::string>
-                                           params = {});
+                                       HttpParams params = {});
 
   // --- HTTP server (LAN) ---
   void serve(const std::string& path, HttpHandler handler);

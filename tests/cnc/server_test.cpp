@@ -365,6 +365,128 @@ TEST_F(CncServerTest, AdsForOneClientInvisibleToOthersForever) {
   EXPECT_EQ(server_.pending_ads(), 0u);
 }
 
+TEST_F(CncServerTest, EntryPickupCostTracksPendingNotHistory) {
+  // Regression guard for the retrieved-watermark cursor: with a long history
+  // of already-collected entries, picking up one new upload must examine one
+  // entry, not re-scan the archive. The pre-cursor implementation walked all
+  // of entries_ on every take_new_entries().
+  for (int i = 0; i < 500; ++i) {
+    server_.handle(add_entry("a", "f" + std::to_string(i), "x"));
+    EXPECT_EQ(server_.take_new_entries().size(), 1u);
+    EXPECT_EQ(server_.engine().scan_stats().last_pickup_scanned, 1u) << i;
+  }
+  // An empty pickup over a 500-entry history examines nothing.
+  EXPECT_TRUE(server_.take_new_entries().empty());
+  EXPECT_EQ(server_.engine().scan_stats().last_pickup_scanned, 0u);
+  EXPECT_EQ(server_.entries().size(), 500u);
+}
+
+TEST_F(CncServerTest, PurgeCostTracksPurgedNotHistory) {
+  for (int i = 0; i < 200; ++i) {
+    server_.handle(add_entry("a", "f" + std::to_string(i), "x"));
+  }
+  server_.take_new_entries();
+  // Nothing old enough: the prefix scan stops at the first young entry.
+  EXPECT_EQ(server_.purge_retrieved(sim::kHour), 0u);
+  EXPECT_EQ(server_.engine().scan_stats().last_purge_scanned, 1u);
+  // Everything old enough: scanned == purged, and pending entries (after the
+  // watermark) are never visited.
+  server_.handle(add_entry("a", "pending", "x"));  // not retrieved
+  EXPECT_EQ(server_.purge_retrieved(0), 200u);
+  EXPECT_EQ(server_.engine().scan_stats().last_purge_scanned, 200u);
+  ASSERT_EQ(server_.entries().size(), 1u);
+  EXPECT_EQ(server_.entries()[0].data_name, "pending");
+}
+
+TEST_F(CncServerTest, AccessLogBoundedByHalvingRetention) {
+  server_.set_access_log_cap(8);
+  for (int i = 0; i < 9; ++i) {
+    server_.handle(get_news("c-" + std::to_string(i)));
+  }
+  // The 9th line found the log full: the oldest half (+1) was shed, the
+  // newest lines survive, and the loss is counted.
+  EXPECT_EQ(server_.access_log().size(), 4u);
+  EXPECT_EQ(server_.access_log_dropped(), 5u);
+  EXPECT_NE(server_.access_log().back().find("client=c-8"), std::string::npos);
+
+  // The wiper still destroys everything and resets the counter — the wipe
+  // starts a fresh forensic window.
+  server_.run_log_wiper();
+  EXPECT_TRUE(server_.access_log().empty());
+  EXPECT_EQ(server_.access_log_dropped(), 0u);
+  EXPECT_TRUE(server_.logs_wiped());
+}
+
+TEST_F(CncServerTest, HandleBatchMatchesPerRequestLoop) {
+  std::vector<net::HttpRequest> requests;
+  server_.push_news({"mod-1", "bytes"});
+  for (int i = 0; i < 20; ++i) {
+    requests.push_back(get_news("c-" + std::to_string(i % 7)));
+    if (i % 3 == 0) {
+      requests.push_back(
+          add_entry("c-" + std::to_string(i % 7), "f" + std::to_string(i),
+                    "loot"));
+    }
+    if (i % 5 == 0) requests.push_back(net::HttpRequest{});  // 404s
+  }
+
+  // A twin server handles the same stream one request at a time.
+  sim::Simulation twin_sim;
+  AttackCenter twin_center(twin_sim, 0xabc);
+  CncServer twin(twin_sim, "cc-0", {"trafficspot.com"},
+                 twin_center.upload_key());
+  twin.push_news({"mod-1", "bytes"});
+
+  const auto batched = server_.handle_batch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto single = twin.handle(requests[i]);
+    EXPECT_EQ(batched[i].status, single.status) << i;
+    EXPECT_EQ(batched[i].body, single.body) << i;
+  }
+  EXPECT_EQ(server_.engine().response_chain(),
+            twin.engine().response_chain());
+  EXPECT_EQ(server_.engine().state_checksum(),
+            twin.engine().state_checksum());
+}
+
+TEST_F(CncServerTest, WriteBehindRowsKeepFirstContactOrder) {
+  // An ad queued for a client that has not phoned home yet must not create a
+  // row (or claim an early row id): rows appear in first-contact order, like
+  // the seed's eager per-beacon updates.
+  server_.push_ad("late-target", {"mod", "bytes"});
+  EXPECT_TRUE(server_.known_clients().empty());
+  server_.handle(get_news("a"));
+  server_.handle(get_news("late-target"));
+  server_.handle(get_news("b"));
+  EXPECT_EQ(server_.known_clients(),
+            (std::vector<std::string>{"a", "late-target", "b"}));
+  // The flushed row reflects the delivered ad's bookkeeping.
+  const Row* row = server_.db().table("clients").find_first_where(
+      "client_id", "late-target");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->at("contacts"), "1");
+  EXPECT_EQ(server_.pending_ads(), 0u);
+}
+
+TEST(DatabaseTest, FindFirstWhereStopsAtFirstMatch) {
+  Database db;
+  auto& t = db.table("clients");
+  t.insert({{"client_id", "a"}, {"type", "FL"}});
+  t.insert({{"client_id", "b"}, {"type", "SP"}});
+  t.insert({{"client_id", "c"}, {"type", "SP"}});
+  const Row* hit = t.find_first_where("type", "SP");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->at("client_id"), "b");  // lowest row id wins
+  EXPECT_EQ(t.find_first_where("type", "IP"), nullptr);
+  EXPECT_EQ(t.find_first_where("nope", "x"), nullptr);
+  // The non-const overload allows in-place updates.
+  Row* mut = t.find_first_where("client_id", "c");
+  ASSERT_NE(mut, nullptr);
+  (*mut)["type"] = "SPE";
+  EXPECT_EQ(t.select_where("type", "SP").size(), 1u);
+}
+
 TEST(DatabaseTest, InsertSelectErase) {
   Database db;
   auto& t = db.table("clients");
