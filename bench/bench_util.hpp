@@ -9,13 +9,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/scenario.hpp"
+#include "core/world.hpp"
 #include "pki/signing.hpp"
+#include "sim/sharded_scheduler.hpp"
 
 namespace cyd::benchutil {
 
@@ -101,6 +105,63 @@ struct SigningIdentity {
     host.trust_store().trust_root(ca.certificate().serial);
   }
 };
+
+/// The trend-b world shape shared by the scaling benches (and the first
+/// concrete step toward the ROADMAP scenario compiler): `sites` office
+/// fleets named org0000, org0001, … — zero-padded so site-name order (the
+/// shard order World::shard_plan derives) equals build order — with the
+/// first min(8, sites) sites doubling as fully-meshed regional WAN hubs at
+/// hours(12) and every other site hanging off its region at hours(6).
+struct HubSpokeFleet {
+  std::vector<std::string> site_names;
+  std::vector<core::FleetHandle> fleets;
+};
+
+inline HubSpokeFleet build_hub_spoke_fleet(
+    core::World& world, std::size_t sites, std::size_t hosts_per_site,
+    winsys::HostArchetype archetype = winsys::HostArchetype::kOfficePc) {
+  HubSpokeFleet out;
+  out.site_names.resize(sites);
+  out.fleets.resize(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    char name[24];  // org + zero-padded index, sized for %04zu's worst case
+    std::snprintf(name, sizeof(name), "org%04zu", s);
+    out.site_names[s] = name;
+    out.fleets[s] =
+        world.add_fleet(archetype, hosts_per_site, out.site_names[s]);
+  }
+  const std::size_t hubs = std::min<std::size_t>(8, sites);
+  for (std::size_t s = hubs; s < sites; ++s) {
+    world.network().link_sites(out.site_names[s], out.site_names[s % hubs],
+                               sim::hours(6));
+  }
+  for (std::size_t a = 0; a < hubs; ++a) {
+    for (std::size_t b = a + 1; b < hubs; ++b) {
+      world.network().link_sites(out.site_names[a], out.site_names[b],
+                                 sim::hours(12));
+    }
+  }
+  return out;
+}
+
+/// A hand-built ring shard plan ("site-0" … "site-N-1", bidirectional links)
+/// for storms whose shards never actually talk: the channels exist to give
+/// the conservative windows a realistic lookahead instead of the unbounded
+/// isolated-shard fast path.
+inline sim::ShardPlan ring_plan(std::size_t shards,
+                                sim::Duration latency = 6 * sim::kHour) {
+  sim::ShardPlan plan;
+  for (std::size_t k = 0; k < shards; ++k) {
+    plan.labels.push_back("site-" + std::to_string(k));
+  }
+  for (std::size_t k = 0; k < shards; ++k) {
+    const auto a = static_cast<std::uint32_t>(k);
+    const auto b = static_cast<std::uint32_t>((k + 1) % shards);
+    plan.channels.push_back({a, b, latency});
+    plan.channels.push_back({b, a, latency});
+  }
+  return plan;
+}
 
 /// Runs the registered google-benchmark cases with default settings.
 inline int run_benchmarks(int argc, char** argv) {

@@ -474,21 +474,11 @@ StormResult run_storm_pipeline(const std::vector<OpStream>& streams,
     engine.push_news(cnc::Payload{"mod-broadcast", "broadcast module bytes"});
   }
 
-  sim::ShardPlan plan;
-  for (std::size_t k = 0; k < shards; ++k) {
-    plan.labels.push_back("site-" + std::to_string(k));
-  }
   // Ring of 6-hour WAN links. Beacons terminate at their site's server, so
   // there is no cross-shard traffic; the channels exist to give the
   // conservative windows a realistic lookahead instead of the unbounded
   // isolated-shard fast path.
-  for (std::size_t k = 0; k < shards; ++k) {
-    const auto a = static_cast<std::uint32_t>(k);
-    const auto b = static_cast<std::uint32_t>((k + 1) % shards);
-    plan.channels.push_back({a, b, 6 * sim::kHour});
-    plan.channels.push_back({b, a, 6 * sim::kHour});
-  }
-  sim::ShardedScheduler scheduler(plan,
+  sim::ShardedScheduler scheduler(benchutil::ring_plan(shards),
                                   sim::ShardedScheduler::Options{mode, workers});
 
   sim::TimePoint horizon = 0;

@@ -322,28 +322,16 @@ EpiOutcome epidemic_run(const EpiConfig& cfg) {
   // regional WAN hubs (fully meshed), every other site hangs off its region.
   // bench/sharded_des_scaling drives this same topology through
   // sim::ShardedScheduler — the site layer built here is the shard map there
-  // (World::shard_plan), and the WAN latencies are its lookahead.
-  std::vector<std::string> site_names(cfg.sites);
-  std::vector<core::FleetHandle> fleets(cfg.sites);
+  // (World::shard_plan), and the WAN latencies are its lookahead. The shape
+  // itself lives in benchutil::build_hub_spoke_fleet, shared by all three
+  // scaling benches.
+  std::vector<std::string> site_names;
+  std::vector<core::FleetHandle> fleets;
   outcome.build_ms = time_ms([&] {
-    for (std::size_t s = 0; s < cfg.sites; ++s) {
-      char name[24];  // org + zero-padded index, sized for %04zu's worst case
-      std::snprintf(name, sizeof(name), "org%04zu", s);
-      site_names[s] = name;
-      fleets[s] = world.add_fleet(winsys::HostArchetype::kOfficePc,
-                                  cfg.hosts_per_site, site_names[s]);
-    }
-    const std::size_t hubs = std::min<std::size_t>(8, cfg.sites);
-    for (std::size_t s = hubs; s < cfg.sites; ++s) {
-      world.network().link_sites(site_names[s], site_names[s % hubs],
-                                 sim::hours(6));
-    }
-    for (std::size_t a = 0; a < hubs; ++a) {
-      for (std::size_t b = a + 1; b < hubs; ++b) {
-        world.network().link_sites(site_names[a], site_names[b],
-                                   sim::hours(12));
-      }
-    }
+    auto fleet =
+        benchutil::build_hub_spoke_fleet(world, cfg.sites, cfg.hosts_per_site);
+    site_names = std::move(fleet.site_names);
+    fleets = std::move(fleet.fleets);
   });
 
   malware::stuxnet::StuxnetConfig config;

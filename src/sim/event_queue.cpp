@@ -1,10 +1,68 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
 namespace cyd::sim {
+
+void EventQueue::set_backend(Backend backend, CalendarConfig config) {
+  if (!heap_.empty() || cal_count_ != 0) {
+    throw std::logic_error(
+        "EventQueue::set_backend: backend can only change while no key is "
+        "stored");
+  }
+  if (backend == Backend::kCalendar) {
+    // Validate before mutating anything, so a throw leaves the queue usable.
+    if (config.bucket_bits < 6 || config.bucket_bits > 22) {
+      throw std::invalid_argument(
+          "EventQueue: calendar bucket_bits outside [6, 22]");
+    }
+    if (config.width_shift > 40) {
+      throw std::invalid_argument(
+          "EventQueue: calendar width_shift outside [0, 40]");
+    }
+  }
+  backend_ = backend;
+  cal_front_valid_ = false;
+  if (backend == Backend::kCalendar) {
+    cal_width_shift_ = config.width_shift;
+    cal_bucket_mask_ = (std::uint64_t{1} << config.bucket_bits) - 1;
+    cal_buckets_.assign(cal_bucket_mask_ + 1, {});
+    cal_occupancy_.assign((cal_bucket_mask_ + 1) >> 6, 0);
+    cal_day_ = static_cast<std::uint64_t>(now_) >> cal_width_shift_;
+  } else {
+    cal_buckets_.clear();
+    cal_buckets_.shrink_to_fit();
+    cal_occupancy_.clear();
+    cal_occupancy_.shrink_to_fit();
+    cal_bucket_mask_ = 0;
+    cal_width_shift_ = 0;
+    cal_day_ = 0;
+  }
+  cal_sorted_bucket_ = kNullIndex;
+}
+
+void EventQueue::reserve(std::size_t events) {
+  const std::size_t slots =
+      std::min<std::size_t>(events, std::size_t{kSlotMask} + 1);
+  const std::size_t chunks = (slots + kChunkSize - 1) >> kChunkShift;
+  chunks_.reserve(chunks);
+  while (chunks_.size() < chunks) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  // The heap may hold every key (kHeap) or only the overflow (kCalendar);
+  // reserving for the worst case keeps the zero-allocation pin unconditional.
+  heap_.reserve(events);
+  if (backend_ == Backend::kCalendar && events > 0) {
+    const std::size_t per_bucket =
+        (events + cal_bucket_mask_) / (cal_bucket_mask_ + 1);
+    for (auto& bucket : cal_buckets_) {
+      if (bucket.capacity() < per_bucket) bucket.reserve(per_bucket);
+    }
+  }
+}
 
 std::uint32_t EventQueue::allocate_slot() {
   if (free_head_ != kNullIndex) {
@@ -18,7 +76,8 @@ std::uint32_t EventQueue::allocate_slot() {
     throw std::length_error(
         "EventQueue: more than 2^24 concurrently pending events");
   }
-  if ((slot_count_ & (kChunkSize - 1)) == 0) {
+  // reserve() may have pre-built chunks past the live slot count.
+  if ((slot_count_ >> kChunkShift) == chunks_.size()) {
     chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
   }
   return slot_count_++;
@@ -48,8 +107,12 @@ void EventQueue::push_key(TimePoint time, std::uint32_t slot) {
 }
 
 void EventQueue::push_order(TimePoint time, std::uint64_t order) {
-  heap_.emplace_back();  // opens a hole at the tail for sift_up to fill
-  sift_up(heap_.size() - 1, HeapKey{time, order});
+  if (backend_ == Backend::kHeap) {
+    heap_.emplace_back();  // opens a hole at the tail for sift_up to fill
+    sift_up(heap_.size() - 1, HeapKey{time, order});
+  } else {
+    cal_insert(time, order);
+  }
   ++live_;
   ++stats_.scheduled;
   if (live_ > stats_.peak_pending) stats_.peak_pending = live_;
@@ -127,6 +190,173 @@ void EventQueue::remove_heap_index(std::size_t index) {
   }
 }
 
+void EventQueue::cal_insert(TimePoint time, std::uint64_t order) {
+  // Callers clamp `time` to now_, and the cursor never passes now_'s day, so
+  // day - cal_day_ is a true (non-wrapping) distance.
+  const std::uint64_t day = static_cast<std::uint64_t>(time) >> cal_width_shift_;
+  if (day - cal_day_ > cal_bucket_mask_) {
+    // Beyond the wheel window: park in the overflow heap. The key pops from
+    // there directly once it becomes the global minimum — by then the cursor
+    // has advanced past every earlier wheel key, so the min comparison in
+    // cal_scan_front is exact and no migration is needed.
+    heap_.emplace_back();
+    sift_up(heap_.size() - 1, HeapKey{time, order});
+  } else {
+    const auto b = static_cast<std::uint32_t>(day & cal_bucket_mask_);
+    cal_buckets_[b].push_back(HeapKey{time, order});
+    cal_occupancy_[b >> 6] |= std::uint64_t{1} << (b & 63);
+    if (b == cal_sorted_bucket_) cal_sorted_bucket_ = kNullIndex;
+    slot(static_cast<std::uint32_t>(order & kSlotMask)).heap_index =
+        kWheelTag | b;
+    ++cal_count_;
+  }
+  if (cal_front_valid_ && earlier(HeapKey{time, order}, cal_front_key_)) {
+    cal_front_valid_ = false;
+  }
+}
+
+bool EventQueue::cal_scan_front(HeapKey& out) {
+  bool have = false;
+  HeapKey best{};
+  std::uint32_t best_bucket = kNullIndex;
+  std::uint32_t best_pos = 0;
+  if (!heap_.empty()) {
+    best = heap_.front();
+    have = true;
+  }
+  if (cal_count_ > 0) {
+    // Circular first-set-bit scan from the cursor's bucket: the first
+    // occupied bucket holds the wheel minimum's time-day (bucket order is
+    // time order within the window), and the earliest key inside it — an
+    // unsorted O(occupancy) scan — is the wheel minimum.
+    const auto start = static_cast<std::uint32_t>(cal_day_ & cal_bucket_mask_);
+    const auto words = static_cast<std::uint32_t>((cal_bucket_mask_ + 1) >> 6);
+    std::uint32_t w = start >> 6;
+    std::uint64_t bits = cal_occupancy_[w] & (~std::uint64_t{0} << (start & 63));
+    while (bits == 0) {  // cal_count_ > 0 guarantees a set bit exists
+      w = (w + 1 == words) ? 0 : w + 1;
+      bits = cal_occupancy_[w];
+    }
+    const std::uint32_t b =
+        (w << 6) + static_cast<std::uint32_t>(std::countr_zero(bits));
+    auto& bucket = cal_buckets_[b];
+    HeapKey wheel_min;
+    std::uint32_t pos;
+    if (b == cal_sorted_bucket_) {
+      // Already latest-first from a previous scan: the minimum is the back.
+      wheel_min = bucket.back();
+      pos = static_cast<std::uint32_t>(bucket.size() - 1);
+      ++stats_.front_scan_keys;
+    } else if (bucket.size() > kSortCutoff) {
+      // Sort the cursor's bucket latest-first exactly once: the wheel
+      // minimum is then bucket.back(), and every subsequent pop from this
+      // bucket is a pop_back() instead of an O(occupancy) rescan. All keys
+      // in the bucket share one day (the window invariant), so sorting by
+      // (time, order) is the pop order within it.
+      std::sort(bucket.begin(), bucket.end(),
+                [](const HeapKey& a, const HeapKey& c) { return earlier(c, a); });
+      cal_sorted_bucket_ = b;
+      wheel_min = bucket.back();
+      pos = static_cast<std::uint32_t>(bucket.size() - 1);
+      stats_.front_scan_keys += bucket.size();
+    } else {
+      // Tiny bucket: a linear min-scan is cheaper than sorting it.
+      pos = 0;
+      wheel_min = bucket[0];
+      for (std::uint32_t i = 1; i < bucket.size(); ++i) {
+        if (earlier(bucket[i], wheel_min)) {
+          wheel_min = bucket[i];
+          pos = i;
+        }
+      }
+      stats_.front_scan_keys += bucket.size();
+    }
+    if (!have || earlier(wheel_min, best)) {
+      best = wheel_min;
+      best_bucket = b;
+      best_pos = pos;
+    }
+    have = true;
+  }
+  if (!have) return false;
+  cal_front_valid_ = true;
+  cal_front_key_ = best;
+  cal_front_bucket_ = best_bucket;
+  cal_front_pos_ = best_pos;
+  out = best;
+  return true;
+}
+
+void EventQueue::cal_remove_front() {
+  // front_key() ran just before, so the cache names the global minimum.
+  const HeapKey front = cal_front_key_;
+  if (cal_front_bucket_ == kNullIndex) {
+    pop_front();  // overflow root won the min comparison
+  } else {
+    auto& bucket = cal_buckets_[cal_front_bucket_];
+    slot(static_cast<std::uint32_t>(front.order & kSlotMask)).heap_index =
+        kNullIndex;
+    // Sorted (latest-first) buckets pop from the back; unsorted tiny
+    // buckets swap-remove the scanned position.
+    if (cal_front_bucket_ != cal_sorted_bucket_) {
+      bucket[cal_front_pos_] = bucket.back();
+    }
+    bucket.pop_back();
+    if (bucket.empty()) {
+      cal_occupancy_[cal_front_bucket_ >> 6] &=
+          ~(std::uint64_t{1} << (cal_front_bucket_ & 63));
+      cal_sorted_bucket_ = kNullIndex;
+    }
+    --cal_count_;
+  }
+  // Advance the cursor to the popped minimum's day: every remaining key is
+  // >= it, so the wheel invariant (stored days in [cal_day_, cal_day_ + B))
+  // is preserved and freed buckets become addressable a full window ahead.
+  cal_day_ = static_cast<std::uint64_t>(front.time) >> cal_width_shift_;
+  cal_front_valid_ = false;
+}
+
+void EventQueue::cal_remove_slot(std::uint32_t index,
+                                 std::uint32_t bucket_index) {
+  auto& bucket = cal_buckets_[bucket_index];
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    if (static_cast<std::uint32_t>(bucket[i].order & kSlotMask) != index) {
+      continue;
+    }
+    bucket[i] = bucket.back();
+    bucket.pop_back();
+    if (bucket.empty()) {
+      cal_occupancy_[bucket_index >> 6] &=
+          ~(std::uint64_t{1} << (bucket_index & 63));
+    }
+    // The swap-remove broke any latest-first order in this bucket.
+    if (bucket_index == cal_sorted_bucket_) cal_sorted_bucket_ = kNullIndex;
+    --cal_count_;
+    return;
+  }
+}
+
+bool EventQueue::front_key(HeapKey& out) {
+  if (backend_ == Backend::kHeap) {
+    if (heap_.empty()) return false;
+    out = heap_.front();
+    return true;
+  }
+  if (cal_front_valid_) {
+    out = cal_front_key_;
+    return true;
+  }
+  return cal_scan_front(out);
+}
+
+void EventQueue::remove_front() {
+  if (backend_ == Backend::kHeap) {
+    pop_front();
+  } else {
+    cal_remove_front();
+  }
+}
+
 EventHandle EventQueue::schedule_at(TimePoint t, EventFn fn) {
   const std::uint32_t index = allocate_slot();
   Slot& s = slot(index);
@@ -174,7 +404,7 @@ void EventQueue::cancel_now(EventHandle handle) {
   if (!handle_live(handle)) return;
   Slot& s = slot(handle.slot_);
   if (s.heap_index == kNullIndex) {
-    // Mid-firing periodic series: no heap entry to remove; mark it and let
+    // Mid-firing periodic series: no stored key to remove; mark it and let
     // the step loop skip the re-arm.
     if (!s.cancelled) {
       s.cancelled = true;
@@ -186,17 +416,26 @@ void EventQueue::cancel_now(EventHandle handle) {
     ++stats_.cancelled;
     --live_;
   }
-  remove_heap_index(s.heap_index);
+  if (s.heap_index >= kWheelTag) {
+    cal_remove_slot(handle.slot_, s.heap_index & ~kWheelTag);
+  } else {
+    remove_heap_index(s.heap_index);
+  }
+  // The removed key may have been the cached calendar front (or may have
+  // re-seated the overflow root under it); rescan lazily.
+  cal_front_valid_ = false;
   free_slot(handle.slot_);
 }
 
 std::size_t EventQueue::step_front() {
-  const HeapKey front = heap_.front();
+  HeapKey front;
+  front_key(front);  // callers guarantee a stored key
   const auto index = static_cast<std::uint32_t>(front.order & kSlotMask);
   Slot& s = slot(index);
   if (s.cancelled) {
     // Tombstone left by a lazy cancel; its live_ decrement already happened.
-    pop_front();
+    ++stats_.pruned;
+    remove_front();
     free_slot(index);
     return 0;
   }
@@ -209,37 +448,58 @@ std::size_t EventQueue::step_front() {
     observer_(observer_ctx_, front.time, front.order >> kSlotBits, s.tag);
   }
   if (s.period > 0) {
-    // Chunk storage is pointer-stable, so the closure fires in place even if
-    // the callback grows the slab — no per-firing relocation. The spent key
-    // stays parked at the root while the callback runs: nothing can sift
-    // above it (new events are clamped to now_ with a later seq, so the root
-    // stays the global minimum), and heap_index == kNullIndex marks the slot
-    // mid-firing so cancel() from inside the callback skips the re-arm. The
-    // payoff is one sift_down per firing instead of a pop + push pair.
-    s.heap_index = kNullIndex;
-    s.fn();
-    if (s.cancelled) {
-      const HeapKey tail = heap_.back();
-      heap_.pop_back();
-      if (!heap_.empty()) sift_down(0, tail);
-      s.fn.reset();
-      ++s.generation;
-      release_slot(s, index);
-    } else {
-      if (next_seq_ >> 40u) {
-        throw std::length_error("EventQueue: event sequence space exhausted");
+    if (backend_ == Backend::kHeap) {
+      // Chunk storage is pointer-stable, so the closure fires in place even
+      // if the callback grows the slab — no per-firing relocation. The spent
+      // key stays parked at the root while the callback runs: nothing can
+      // sift above it (new events are clamped to now_ with a later seq, so
+      // the root stays the global minimum), and heap_index == kNullIndex
+      // marks the slot mid-firing so cancel() from inside the callback skips
+      // the re-arm. The payoff is one sift_down per firing instead of a
+      // pop + push pair.
+      s.heap_index = kNullIndex;
+      s.fn();
+      if (s.cancelled) {
+        const HeapKey tail = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty()) sift_down(0, tail);
+        s.fn.reset();
+        ++s.generation;
+        release_slot(s, index);
+      } else {
+        if (next_seq_ >> 40u) {
+          throw std::length_error("EventQueue: event sequence space exhausted");
+        }
+        const std::uint64_t order = (next_seq_++ << kSlotBits) | index;
+        sift_down(0, HeapKey{now_ + s.period, order});
+        ++live_;
+        ++stats_.scheduled;
+        if (live_ > stats_.peak_pending) stats_.peak_pending = live_;
       }
-      const std::uint64_t order = (next_seq_++ << kSlotBits) | index;
-      sift_down(0, HeapKey{now_ + s.period, order});
-      ++live_;
-      ++stats_.scheduled;
-      if (live_ > stats_.peak_pending) stats_.peak_pending = live_;
+    } else {
+      // Calendar path: no parked-root trick (bucket inserts are O(1), so a
+      // remove + insert pair is already cheap). The re-arm sequence number
+      // is drawn *after* the callback, exactly as in the heap path, so the
+      // two backends assign identical seqs to identical firing histories.
+      cal_remove_front();
+      s.fn();
+      if (s.cancelled) {
+        s.fn.reset();
+        ++s.generation;
+        release_slot(s, index);
+      } else {
+        if (next_seq_ >> 40u) {
+          throw std::length_error("EventQueue: event sequence space exhausted");
+        }
+        const std::uint64_t order = (next_seq_++ << kSlotBits) | index;
+        cal_insert(now_ + s.period, order);
+        ++live_;
+        ++stats_.scheduled;
+        if (live_ > stats_.peak_pending) stats_.peak_pending = live_;
+      }
     }
   } else {
-    s.heap_index = kNullIndex;
-    const HeapKey tail = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0, tail);
+    remove_front();
     // Bump the generation before firing: the callback's own handle (and any
     // copy) goes inert, so self-cancellation is a no-op. The slot joins the
     // free list only after the closure returns — a callback that schedules
@@ -253,30 +513,36 @@ std::size_t EventQueue::step_front() {
 }
 
 bool EventQueue::step() {
-  while (!heap_.empty()) {
+  HeapKey front;
+  while (front_key(front)) {
     if (step_front() != 0) return true;
   }
   return false;
 }
 
 bool EventQueue::prune_cancelled() {
-  while (!heap_.empty()) {
-    const auto index =
-        static_cast<std::uint32_t>(heap_.front().order & kSlotMask);
+  HeapKey front;
+  while (front_key(front)) {
+    const auto index = static_cast<std::uint32_t>(front.order & kSlotMask);
     if (!slot(index).cancelled) return true;
-    pop_front();
+    ++stats_.pruned;
+    remove_front();
     free_slot(index);
   }
   return false;
 }
 
 TimePoint EventQueue::next_time() {
-  return prune_cancelled() ? heap_.front().time : kNoEventTime;
+  if (!prune_cancelled()) return kNoEventTime;
+  HeapKey front;
+  front_key(front);  // cached under kCalendar, O(1) under kHeap
+  return front.time;
 }
 
 std::size_t EventQueue::run_until(TimePoint deadline) {
   std::size_t executed = 0;
-  while (!heap_.empty() && heap_.front().time <= deadline) {
+  HeapKey front;
+  while (front_key(front) && front.time <= deadline) {
     executed += step_front();
   }
   now_ = std::max(now_, deadline);

@@ -87,10 +87,12 @@ struct RunResult {
   ScenarioState state;
 };
 
-RunResult run_scenario(ShardedScheduler::Mode mode, unsigned workers,
-                       TimePoint deadline = 21 * kDay) {
+RunResult run_scenario(
+    ShardedScheduler::Mode mode, unsigned workers,
+    TimePoint deadline = 21 * kDay,
+    EventQueue::Backend backend = EventQueue::Backend::kHeap) {
   ShardedScheduler sched(courier_and_wan_plan(),
-                         ShardedScheduler::Options{mode, workers});
+                         ShardedScheduler::Options{mode, workers, backend});
   RunResult result;
   seed_scenario(sched, result.state);
   const auto report = sched.run_until(deadline);
@@ -123,6 +125,47 @@ TEST(ShardedSchedulerTest, CourierAndWanTraceMatchesSingleQueueAt1And2AndN) {
         run_scenario(ShardedScheduler::Mode::kSharded, workers);
     expect_same(reference, sharded);
   }
+}
+
+TEST(ShardedSchedulerTest, CalendarBackendTraceMatchesHeapAtEveryWorkerCount) {
+  // The backend knob must be invisible to the determinism contract: a
+  // calendar-backed run — wheel inserts for the 45-minute activity ticks,
+  // overflow parks for the 3-day courier legs — produces the same trace
+  // checksum and world state as the heap reference, in both modes, at
+  // worker counts {1, 2, hardware}.
+  const auto reference = run_scenario(ShardedScheduler::Mode::kSingleQueue, 1);
+  const auto serial_cal =
+      run_scenario(ShardedScheduler::Mode::kSingleQueue, 1, 21 * kDay,
+                   EventQueue::Backend::kCalendar);
+  expect_same(reference, serial_cal);
+  for (const unsigned workers : {1u, 2u, 0u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const auto sharded_cal =
+        run_scenario(ShardedScheduler::Mode::kSharded, workers, 21 * kDay,
+                     EventQueue::Backend::kCalendar);
+    expect_same(reference, sharded_cal);
+  }
+}
+
+TEST(ShardedSchedulerTest, PerShardBackendMixKeepsTheTrace) {
+  // Heterogeneous worlds: only the dense sites take the wheel; the trace
+  // must not care which shard runs which backend.
+  const auto reference = run_scenario(ShardedScheduler::Mode::kSingleQueue, 1);
+  ShardedScheduler sched(courier_and_wan_plan(),
+                         ShardedScheduler::Options{
+                             ShardedScheduler::Mode::kSharded, 2});
+  sched.set_shard_backend(kHq, EventQueue::Backend::kCalendar);
+  sched.set_shard_backend(kGapped, EventQueue::Backend::kCalendar,
+                          CalendarConfig{/*bucket_bits=*/8,
+                                         /*width_shift=*/16});
+  sched.reserve(kBranch, 1024);
+  RunResult mixed;
+  seed_scenario(sched, mixed.state);
+  const auto report = sched.run_until(21 * kDay);
+  mixed.checksum = report.trace_checksum;
+  mixed.executed = report.executed;
+  mixed.cross = report.cross_shard_messages;
+  expect_same(reference, mixed);
 }
 
 TEST(ShardedSchedulerTest, ShardedRunsAreReproducible) {
