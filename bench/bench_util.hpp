@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -120,6 +121,14 @@ struct HubSpokeFleet {
 inline HubSpokeFleet build_hub_spoke_fleet(
     core::World& world, std::size_t sites, std::size_t hosts_per_site,
     winsys::HostArchetype archetype = winsys::HostArchetype::kOfficePc) {
+  if (sites > 9999) {
+    // "org%04zu" zero-padding is what makes site-name order equal build
+    // order (the shard_plan invariant); "org10000" would sort before
+    // "org2000" and silently desynchronize shard order from fleet index.
+    throw std::invalid_argument(
+        "build_hub_spoke_fleet: sites > 9999 breaks the zero-padded "
+        "name-order == build-order invariant; widen the padding first");
+  }
   HubSpokeFleet out;
   out.site_names.resize(sites);
   out.fleets.resize(sites);

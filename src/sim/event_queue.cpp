@@ -54,10 +54,19 @@ void EventQueue::reserve(std::size_t events) {
   }
   // The heap may hold every key (kHeap) or only the overflow (kCalendar);
   // reserving for the worst case keeps the zero-allocation pin unconditional.
-  heap_.reserve(events);
-  if (backend_ == Backend::kCalendar && events > 0) {
+  // `slots`, not `events`: concurrently stored keys cannot exceed the 2^24
+  // slot ceiling, so the unclamped count would just over-allocate.
+  heap_.reserve(slots);
+  if (backend_ == Backend::kCalendar && slots > cal_bucket_mask_) {
+    // Pre-size each bucket for its uniform share. Two deliberate limits:
+    // when events < bucket count the per-bucket share rounds up from zero
+    // and the loop would pay O(bucket_count) one-element reservations (up
+    // to ~4.2M at bucket_bits=22) for a storm the slab absorbs anyway, so
+    // it is skipped; and a storm skewed into few buckets can still grow
+    // those vectors past their uniform share — the zero-allocation
+    // guarantee assumes a roughly even spread across the wheel.
     const std::size_t per_bucket =
-        (events + cal_bucket_mask_) / (cal_bucket_mask_ + 1);
+        (slots + cal_bucket_mask_) / (cal_bucket_mask_ + 1);
     for (auto& bucket : cal_buckets_) {
       if (bucket.capacity() < per_bucket) bucket.reserve(per_bucket);
     }
@@ -191,8 +200,13 @@ void EventQueue::remove_heap_index(std::size_t index) {
 }
 
 void EventQueue::cal_insert(TimePoint time, std::uint64_t order) {
-  // Callers clamp `time` to now_, and the cursor never passes now_'s day, so
-  // day - cal_day_ is a true (non-wrapping) distance.
+  // Callers clamp `time` to now_, but the cursor can sit *past* now_'s day:
+  // next_time() pruning a tombstone advances cal_day_ to the tombstone's day
+  // without moving the clock. A key due before the cursor then has
+  // day < cal_day_, and the unsigned subtraction wraps to a huge distance —
+  // which routes it to the overflow heap, exactly where it belongs: it pops
+  // from there via the exact min comparison in cal_scan_front, and the
+  // monotone cursor (cal_remove_front) never rewinds for it.
   const std::uint64_t day = static_cast<std::uint64_t>(time) >> cal_width_shift_;
   if (day - cal_day_ > cal_bucket_mask_) {
     // Beyond the wheel window: park in the overflow heap. The key pops from
@@ -312,7 +326,14 @@ void EventQueue::cal_remove_front() {
   // Advance the cursor to the popped minimum's day: every remaining key is
   // >= it, so the wheel invariant (stored days in [cal_day_, cal_day_ + B))
   // is preserved and freed buckets become addressable a full window ahead.
-  cal_day_ = static_cast<std::uint64_t>(front.time) >> cal_width_shift_;
+  // Monotone max, never an assignment: a tombstone pruned via next_time()
+  // can advance the cursor past now_, after which an event scheduled near
+  // now_ parks in the overflow heap with a day *below* cal_day_. Rewinding
+  // the cursor when that key pops would strand previously-inserted wheel
+  // keys beyond the window, wrapping their ring offsets so the circular
+  // scan visits a later day before an earlier one — time running backwards.
+  cal_day_ = std::max(
+      cal_day_, static_cast<std::uint64_t>(front.time) >> cal_width_shift_);
   cal_front_valid_ = false;
 }
 

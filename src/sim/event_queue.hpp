@@ -116,6 +116,12 @@ class EventQueue {
   /// slab chunks are allocated up front and the heap / wheel buckets
   /// reserve capacity, so a storm of schedule calls performs zero heap
   /// allocations. Counts above the 2^24 concurrent-slot ceiling clamp.
+  /// Wheel-bucket pre-sizing assumes the storm spreads roughly uniformly
+  /// across buckets (each gets its events/buckets share); a storm skewed
+  /// into few buckets can still grow those vectors. When events < bucket
+  /// count the per-bucket pass is skipped entirely — reserving one element
+  /// in millions of buckets costs far more than the handful of lazy
+  /// push_back growths it would avoid.
   void reserve(std::size_t events);
 
   /// Absolute-time scheduling. Events scheduled in the past run at the

@@ -523,6 +523,27 @@ TEST_P(EventQueueBackendTest, NextTimePrunesTombstonesAndCountsThem) {
   EXPECT_EQ(q.stats().pruned, 100u);  // cancel_now added no tombstone
 }
 
+TEST_P(EventQueueBackendTest, CursorStaysMonotoneAfterTombstonePrune) {
+  // Regression: pruning a lazy-cancel tombstone via next_time() advances the
+  // calendar cursor past now() (here to day 31 of the 64x16ms wheel) while
+  // the clock stays at 0. An event then scheduled near now() sits *before*
+  // the cursor — it must park in the overflow heap and pop WITHOUT rewinding
+  // the cursor. The rewind left wheel keys beyond the window, wrapping their
+  // ring offsets so the scan fired day 94 (offset 24 from the rewound
+  // cursor) before day 68 (offset 62): a later event first, time backwards.
+  auto doomed = q.schedule_at(500, [] {});
+  doomed.cancel();
+  EXPECT_EQ(q.next_time(), EventQueue::kNoEventTime);  // prunes the tombstone
+  std::vector<TimePoint> fires;
+  q.schedule_at(1088, [&] { fires.push_back(q.now()); });  // day 68: wheel
+  q.schedule_at(1504, [&] { fires.push_back(q.now()); });  // day 94: wheel
+  q.schedule_at(100, [&] { fires.push_back(q.now()); });   // pre-cursor
+  EXPECT_EQ(q.next_time(), 100);
+  EXPECT_EQ(q.run_all().executed, 3u);
+  EXPECT_EQ(fires, (std::vector<TimePoint>{100, 1088, 1504}));
+  EXPECT_EQ(q.now(), 1504);
+}
+
 TEST_P(EventQueueBackendTest, KeysSurviveAtThe40BitCeiling) {
   const std::uint64_t top = (std::uint64_t{1} << 40) - 1;
   std::vector<std::uint64_t> keys;
